@@ -1,0 +1,11 @@
+"""E-APP: appendix odd-side results (Theorem 13, Corollary 4, Lemma 14)."""
+
+
+def bench_e_app_average(run_recorded):
+    table = run_recorded("E-APP")
+    assert all(row[-1] for row in table.rows)
+
+
+def bench_e_app_theorem13(run_recorded):
+    table = run_recorded("E-APP-T13")
+    assert all(row[-1] == 0 for row in table.rows)

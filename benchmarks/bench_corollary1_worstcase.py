@@ -1,0 +1,11 @@
+"""E-C1 / E-NOWRAP: worst-case adversary and the wrap-wire necessity."""
+
+
+def bench_e_c1(run_recorded):
+    table = run_recorded("E-C1")
+    assert all(row[-1] for row in table.rows)
+
+
+def bench_e_nowrap(run_recorded):
+    table = run_recorded("E-NOWRAP")
+    assert all(row[2] is False for row in table.rows)

@@ -1,0 +1,59 @@
+"""Extension experiments: constants fit, concentration, traffic, adaptivity,
+worst-case search (see DESIGN.md section 6 and EXPERIMENTS.md)."""
+
+
+def bench_e_const(run_recorded):
+    table = run_recorded("E-CONST")
+    assert all(row[4] for row in table.rows)  # fitted c above paper bound
+
+
+def bench_e_dist(run_recorded):
+    table = run_recorded("E-DIST")
+    # concentration: 90% of mass within ~35% of the median
+    assert all(row[-1] < 0.5 for row in table.rows)
+
+
+def bench_e_traffic(run_recorded):
+    table = run_recorded("E-TRAFFIC")
+    for row in table.rows:
+        name, _, _, comparisons, swaps, frac, wrap_share = row
+        assert swaps <= comparisons
+        if name.startswith("row_major"):
+            assert wrap_share > 0
+        else:
+            assert wrap_share == 0
+
+
+def bench_e_adapt(run_recorded):
+    table = run_recorded("E-ADAPT")
+    for row in table.rows:
+        assert row[2] == 0.0  # sorted input: zero steps
+        assert row[3] < row[4] or row[4] == 0  # nearly sorted beats random
+
+
+def bench_e_worst(run_recorded):
+    table = run_recorded("E-WORST")
+    assert all(row[-1] for row in table.rows)
+
+
+def bench_e_rect(run_recorded):
+    table = run_recorded("E-RECT")
+    # Theta(N) across aspect ratios: steps/N in a sane band everywhere
+    assert all(0.4 < row[-1] < 2.5 for row in table.rows)
+
+
+def bench_e_fault(run_recorded):
+    table = run_recorded("E-FAULT")
+    transient = [r for r in table.rows if isinstance(r[2], float)]
+    dead = [r for r in table.rows if not isinstance(r[2], float)]
+    assert all(r[-1] for r in transient)  # transient faults: always sorts
+    assert all(not r[-1] for r in dead)  # dead wrap wires: never sorts
+
+
+def bench_e_decay(run_recorded):
+    table = run_recorded("E-DECAY")
+    for row in table.rows:
+        fractions = row[2:]
+        assert fractions[0] == 1.0
+        assert all(a >= b - 1e-9 for a, b in zip(fractions, fractions[1:]))
+        assert fractions[-1] < 0.05  # near-sorted by t = 2N

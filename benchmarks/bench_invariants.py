@@ -1,0 +1,11 @@
+"""E-L123 / E-T1: lemma invariants and potential lower bounds on traces."""
+
+
+def bench_e_l123(run_recorded):
+    table = run_recorded("E-L123")
+    assert all(row[-1] == 0 for row in table.rows)
+
+
+def bench_e_t1_potentials(run_recorded):
+    table = run_recorded("E-T1")
+    assert all(row[-1] == 0 for row in table.rows)

@@ -1,0 +1,9 @@
+"""E-1D: Section 1 linear-array facts (worst case N, average >= (N-1)/2)."""
+
+
+def bench_e_1d(run_recorded):
+    table = run_recorded("E-1D")
+    for row in table.rows:
+        n, _, mean, lower, _, worst, upper = row
+        assert lower <= mean <= upper
+        assert worst <= upper

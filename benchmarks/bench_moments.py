@@ -1,0 +1,16 @@
+"""E-L4 / E-L9 / E-VAR: first and second moments, MC vs exact vs paper."""
+
+
+def bench_e_l4_row_major_moments(run_recorded):
+    table = run_recorded("E-L4")
+    assert all(row[-1] for row in table.rows)
+
+
+def bench_e_l9_snake_moments(run_recorded):
+    table = run_recorded("E-L9")
+    assert all(row[-1] for row in table.rows)
+
+
+def bench_e_var_variances(run_recorded):
+    table = run_recorded("E-VAR")
+    assert all(row[-1] for row in table.rows)

@@ -1,0 +1,14 @@
+"""E-SCALE: the headline figure — Theta(N) for all five vs shearsort."""
+
+
+def bench_e_scale(run_recorded):
+    table = run_recorded("E-SCALE")
+    # every bubble sort keeps steps/N within a band; shearsort's steps/N falls
+    by_algo = {}
+    for row in table.rows:
+        by_algo.setdefault(row[0], []).append(row[4])
+    for name, ratios in by_algo.items():
+        if name.startswith("shearsort"):
+            assert ratios[-1] < ratios[0]  # sub-linear in N
+        else:
+            assert max(ratios) / min(ratios) < 1.6  # Theta(N): flat band

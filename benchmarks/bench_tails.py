@@ -1,0 +1,11 @@
+"""E-TAILS: Theorems 3, 5, 8, 11 — empirical tails vs Chebyshev bounds."""
+
+
+def bench_e_tails(run_recorded):
+    table = run_recorded("E-TAILS")
+    assert all(row[-1] for row in table.rows)
+
+
+def bench_e_exact_tails(run_recorded):
+    table = run_recorded("E-EXACT")
+    assert all(row[-1] for row in table.rows)

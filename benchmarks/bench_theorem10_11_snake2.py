@@ -1,0 +1,6 @@
+"""E-T10: Theorem 10 — second snakelike average >= N/2 - sqrt(N)/2 - 4."""
+
+
+def bench_e_t10(run_recorded):
+    table = run_recorded("E-T10")
+    assert all(row[-1] for row in table.rows)

@@ -1,0 +1,21 @@
+"""E-T12: Theorem 12 — snake_3's walk bound, tail, and min-home contrast."""
+
+
+def bench_e_t12_average(run_recorded):
+    table = run_recorded("E-T12-avg")
+    assert all(row[-1] for row in table.rows)
+
+
+def bench_e_t12_tail(run_recorded):
+    table = run_recorded("E-T12")
+    assert all(row[-1] for row in table.rows)
+
+
+def bench_e_minhome(run_recorded):
+    table = run_recorded("E-MINHOME")
+    # snake_3's mean/N stays bounded away from zero; the others' mean/sqrt(N)
+    # stays small — checked coarsely here, precisely in EXPERIMENTS.md.
+    snake3_rows = [r for r in table.rows if r[0] == "snake_3"]
+    other_rows = [r for r in table.rows if r[0] != "snake_3"]
+    assert all(r[-1] > 0.3 for r in snake3_rows)
+    assert all(r[-2] < 5.0 for r in other_rows)

@@ -1,0 +1,6 @@
+"""E-T2: Theorem 2 — row-first row-major average >= N/2 - 2 sqrt(N)."""
+
+
+def bench_e_t2(run_recorded):
+    table = run_recorded("E-T2")
+    assert all(row[-1] for row in table.rows)

@@ -1,0 +1,6 @@
+"""E-T4: Theorem 4 — column-first row-major average >= 3N/8 - 2 sqrt(N)."""
+
+
+def bench_e_t4(run_recorded):
+    table = run_recorded("E-T4")
+    assert all(row[-1] for row in table.rows)

@@ -1,0 +1,6 @@
+"""E-T7: Theorem 7 — first snakelike average >= ~N/2 - sqrt(N)/2 - 4."""
+
+
+def bench_e_t7(run_recorded):
+    table = run_recorded("E-T7")
+    assert all(row[-1] for row in table.rows)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench target regenerates one experiment of the paper (see the
+per-experiment index in DESIGN.md), records its result table under
+``benchmarks/results/``, and asserts the reproduction criterion (bound
+holds / zero violations).  ``pytest benchmarks/ --benchmark-only`` runs the
+lot; add ``-s`` to see the tables inline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import run_experiment
+from repro.experiments.tables import Table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def cfg() -> ExperimentConfig:
+    """Quick-scale config: the benches must finish in seconds each."""
+    return ExperimentConfig(scale="quick")
+
+
+@pytest.fixture
+def record_table():
+    """Persist a result table and echo it to stdout."""
+
+    def _record(exp_id: str, table: Table) -> Table:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{exp_id}.txt").write_text(table.to_text() + "\n")
+        print("\n" + table.to_text())
+        return table
+
+    return _record
+
+
+@pytest.fixture
+def run_recorded(benchmark, cfg, record_table):
+    """Benchmark one experiment end to end (single round — the experiments
+    are Monte-Carlo aggregates, not microkernels) and record its table."""
+
+    def _run(exp_id: str) -> Table:
+        table = benchmark.pedantic(
+            lambda: run_experiment(exp_id, cfg), rounds=1, iterations=1
+        )
+        return record_table(exp_id, table)
+
+    return _run

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Quickstart: sort a random permutation with each of the five algorithms.
+
+Run:  python examples/quickstart.py [side]
+
+Demonstrates the core public API: building a random permutation grid,
+sorting it to completion with a named algorithm, and inspecting the result.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import ALGORITHM_NAMES, random_permutation_grid, sort_grid
+from repro.core import describe_algorithm, get_algorithm
+from repro.theory.bounds import diameter_lower_bound
+
+
+def main() -> None:
+    side = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    n_cells = side * side
+    grid = random_permutation_grid(side, rng=2026)
+
+    print(f"Sorting a random permutation of {n_cells} numbers on a "
+          f"{side}x{side} mesh (diameter bound: {diameter_lower_bound(side)} steps)\n")
+
+    for name in ALGORITHM_NAMES:
+        schedule = get_algorithm(name)
+        if schedule.requires_even_side and side % 2 != 0:
+            print(f"{name:22s}  (skipped: requires even side)")
+            continue
+        report = sort_grid(name, grid)
+        steps = report.steps_scalar()
+        print(f"{name:22s}  {steps:6d} steps   steps/N = {steps / n_cells:.3f}")
+
+    print("\nStep cycle of the first snakelike algorithm:")
+    print(describe_algorithm("snake_1"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Validate the paper's closed-form moments against Monte Carlo.
+
+Run:  python examples/theory_validation.py [--trials T] [--side S]
+
+For a random threshold matrix A01, measures the potential statistics after
+the first step of each algorithm and compares:
+
+* the Monte-Carlo mean,
+* the exact hypergeometric value (ground truth), and
+* the paper's printed closed form (Lemmas 4, 9, 11, 14).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.experiments import sample_statistic_after_steps, summarize
+from repro.theory import appendix, moments
+from repro.zeroone import first_column_zeros, y1_statistic, z1_statistic
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=20000)
+    parser.add_argument("--side", type=int, default=16)
+    args = parser.parse_args()
+    side = args.side
+    if side % 2 != 0:
+        raise SystemExit("use an even side (the odd case is shown separately below)")
+    n = side // 2
+
+    cases = [
+        ("E[Z1] after step 1 of row-first (Lemma 4)",
+         "row_major_row_first", 1, first_column_zeros,
+         moments.e_Z1_row_first(n), 2 * n * moments.e_z1_row_first_paper(n)),
+        ("E[Z1] after col+row sort of col-first (Theorem 4)",
+         "row_major_col_first", 2, first_column_zeros,
+         moments.e_Z1_col_first(n), n * moments.e_z1_col_first_paper(n)),
+        ("E[Z1(0)] after step 1 of snake_1 (Lemma 9)",
+         "snake_1", 1, z1_statistic,
+         moments.e_Z1_0_snake1(side), moments.e_Z1_0_snake1_paper(side)),
+        ("E[Y1(0)] after step 1 of snake_2 (Lemma 11)",
+         "snake_2", 1, y1_statistic,
+         moments.e_Y1_0_snake2(side), moments.e_Y1_0_snake2_paper(side)),
+    ]
+    print(f"side={side}, trials={args.trials}\n")
+    header = f"{'quantity':52s} {'MC mean':>10s} {'exact':>10s} {'paper':>10s}"
+    print(header)
+    print("-" * len(header))
+    for title, algo, steps, stat, exact, paper in cases:
+        sample = sample_statistic_after_steps(
+            algo, side, args.trials,
+            lambda g, s=stat: np.atleast_1d(np.asarray(s(g))),
+            num_steps=steps, seed=(42, side),
+        )
+        stats = summarize(sample)
+        print(f"{title:52s} {stats.mean:10.4f} {float(exact):10.4f} {float(paper):10.4f}")
+
+    odd = side + 1 if (side + 1) % 2 == 1 else side - 1
+    sample = sample_statistic_after_steps(
+        "snake_1", odd, args.trials,
+        lambda g: np.atleast_1d(np.asarray(z1_statistic(g))),
+        seed=(42, odd),
+    )
+    stats = summarize(sample)
+    print(
+        f"{'E[Z1(0)] odd side ' + str(odd) + ' (Lemma 14)':52s} "
+        f"{stats.mean:10.4f} {float(appendix.e_Z1_0_snake1_odd(odd)):10.4f} "
+        f"{float(appendix.e_Z1_0_snake1_odd_paper(odd)):10.4f}"
+    )
+
+    print("\nVariance of Z1(0) for snake_1 (Theorem 8): the printed (17/8)n^2 is")
+    print("contradicted by both exact combinatorics and Monte Carlo:")
+    sample = sample_statistic_after_steps(
+        "snake_1", side, args.trials,
+        lambda g: np.atleast_1d(np.asarray(z1_statistic(g))),
+        seed=(43, side),
+    )
+    print(f"  MC variance    = {np.var(sample, ddof=1):10.4f}")
+    print(f"  exact variance = {float(moments.var_Z1_0_snake1(side)):10.4f}")
+    print(f"  paper's form   = {float(moments.var_Z1_0_snake1_paper(n)):10.4f}")
+
+
+if __name__ == "__main__":
+    main()

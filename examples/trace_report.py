@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Cycle-by-cycle convergence report for one sorting run.
+
+Run:  python examples/trace_report.py [algorithm] [side]
+
+Prints, per 4-step cycle: inversions against the target order, the
+analysis potential (M surplus for row-major, Z1/Y1 for the snakes), the
+column zero-count spread of the threshold view, and where the minimum is —
+the quantities Sections 2 and 3 of the paper track.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import ALGORITHM_NAMES
+from repro.randomness import random_permutation_grid
+from repro.zeroone.diagnostics import render_report, run_diagnostics
+
+
+def main() -> None:
+    algorithm = sys.argv[1] if len(sys.argv) > 1 else "snake_1"
+    side = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+    if algorithm not in ALGORITHM_NAMES:
+        raise SystemExit(f"unknown algorithm; choose from {ALGORITHM_NAMES}")
+
+    grid = random_permutation_grid(side, rng=3)
+    records = run_diagnostics(algorithm, grid)
+    print(f"{algorithm} on a {side}x{side} mesh "
+          f"(N = {side * side}; sorted after {records[-1].t} steps)\n")
+    print(render_report(records))
+    print("\nwatch: inversions fall to 0 and the column spread equalizes; the"
+          "\npotential loses at most 1 per cycle (Theorem 6/9's engine) while"
+          "\nconverging to its balanced final value.")
+
+
+if __name__ == "__main__":
+    main()

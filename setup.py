@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package (offline).
+
+All metadata lives in pyproject.toml; this file only enables legacy
+`pip install -e .` / `python setup.py develop` when PEP 660 editable
+builds are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,11 @@
+"""Baselines on the same machine model: shearsort, broken no-wrap variant."""
+
+from repro.baselines.no_wrap import row_major_no_wrap, smallest_column_adversary
+from repro.baselines.shearsort import shearsort, shearsort_step_count
+
+__all__ = [
+    "row_major_no_wrap",
+    "smallest_column_adversary",
+    "shearsort",
+    "shearsort_step_count",
+]

@@ -1,0 +1,68 @@
+"""The broken row-major variant without wrap-around wires.
+
+Section 1 of the paper explains *why* the row-major algorithms need the
+extra wires: "Suppose that we did not have them and the smallest 2n numbers
+were initially stored by the cells in column 1.  Then the smallest 2n
+numbers will be forced to stay in the same column at each step and we would
+never get the desired ordering."
+
+This module provides the wire-less schedule so the experiments (and tests)
+can demonstrate exactly that failure: on the adversarial input the run hits
+any step cap with the smallest column pinned in place, while the wired
+variant sorts in Θ(N).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.phases import (
+    col_even_bubble,
+    col_odd_bubble,
+    row_even_bubble,
+    row_odd_bubble,
+)
+from repro.core.schedule import Schedule, Step
+from repro.errors import DimensionError
+
+__all__ = ["row_major_no_wrap", "smallest_column_adversary"]
+
+
+def row_major_no_wrap() -> Schedule:
+    """The first row-major algorithm with the wrap-around comparisons removed.
+
+    Not a sorting algorithm: column weights are invariant under all four of
+    its steps except for the odd/even row transpositions, which can never
+    move values past the column-1/column-2n boundary.
+    """
+    return Schedule(
+        name="row_major_no_wrap",
+        steps=(
+            Step(row_odd_bubble()),
+            Step(col_odd_bubble()),
+            Step(row_even_bubble()),
+            Step(col_even_bubble()),
+        ),
+        order="row_major",
+        requires_even_side=True,
+        metadata={"family": "broken-baseline"},
+    )
+
+
+def smallest_column_adversary(side: int, *, column: int = 0) -> np.ndarray:
+    """The paper's adversarial input: the smallest ``side`` values down one
+    column, the rest in row-major order elsewhere.
+
+    With wrap-around wires this is (close to) the worst case of Corollary 1;
+    without them it can never be sorted into row-major order.
+    """
+    if side < 2:
+        raise DimensionError(f"side must be >= 2, got {side}")
+    if not 0 <= column < side:
+        raise DimensionError(f"column {column} out of range for side {side}")
+    grid = np.empty((side, side), dtype=np.int64)
+    rest = iter(range(side, side * side))
+    for r in range(side):
+        for c in range(side):
+            grid[r, c] = r if c == column else next(rest)
+    return grid

@@ -1,0 +1,90 @@
+"""The embedded N-cell linear array inside the row-major algorithms.
+
+Section 1 justifies the O(N) worst case of the row-major algorithms by
+noting "there is essentially an N-cell linear array embedded in the mesh of
+processors".  This module makes that embedding precise and checkable:
+
+* reading the mesh in row-major order, the **odd row step** performs exactly
+  the 1-D odd transposition step on the embedded array (all pairs
+  ``(2k, 2k+1)`` are horizontal neighbours because the side is even);
+* the **even row step together with the wrap-around comparisons** performs
+  exactly the 1-D even transposition step — the wrap wires supply precisely
+  the pairs ``(2k+1, 2k+2)`` that straddle a row boundary;
+* the column steps are additional comparators that only move values toward
+  their target half (distance ``side`` along the embedded array, correctly
+  oriented), so they never hurt.
+
+The tests verify the first two claims cell-for-cell, tying the 2-D schedules
+to the 1-D substrate in :mod:`repro.linear`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.orders import validate_grid
+from repro.errors import DimensionError
+
+__all__ = [
+    "embedded_index",
+    "as_embedded_array",
+    "from_embedded_array",
+    "embedded_pairs_odd_step",
+    "embedded_pairs_even_step",
+]
+
+
+def embedded_index(row: int, col: int, side: int) -> int:
+    """Position of mesh cell ``(row, col)`` on the embedded linear array
+    (row-major reading order)."""
+    if not (0 <= row < side and 0 <= col < side):
+        raise DimensionError(f"cell ({row}, {col}) out of range for side {side}")
+    return row * side + col
+
+
+def as_embedded_array(grid: np.ndarray) -> np.ndarray:
+    """The mesh contents as the embedded linear array (a copy)."""
+    arr = np.asarray(grid)
+    side = validate_grid(arr)
+    return arr.reshape(*arr.shape[:-2], side * side).copy()
+
+
+def from_embedded_array(array: np.ndarray, side: int) -> np.ndarray:
+    """Inverse of :func:`as_embedded_array`."""
+    arr = np.asarray(array)
+    if arr.shape[-1] != side * side:
+        raise DimensionError(
+            f"array of length {arr.shape[-1]} does not fill a {side}x{side} mesh"
+        )
+    return arr.reshape(*arr.shape[:-1], side, side).copy()
+
+
+def embedded_pairs_odd_step(side: int) -> list[tuple[tuple[int, int], tuple[int, int]]]:
+    """The 1-D odd-step pairs ``(2k, 2k+1)`` as mesh cell pairs.
+
+    For even ``side`` every pair is a horizontal neighbour pair — exactly
+    the comparators of the row-major algorithms' odd row step.
+    """
+    if side % 2 != 0:
+        raise DimensionError("the embedding requires an even side")
+    pairs = []
+    for k in range(side * side // 2):
+        a, b = 2 * k, 2 * k + 1
+        pairs.append(((a // side, a % side), (b // side, b % side)))
+    return pairs
+
+
+def embedded_pairs_even_step(side: int) -> list[tuple[tuple[int, int], tuple[int, int]]]:
+    """The 1-D even-step pairs ``(2k+1, 2k+2)`` as mesh cell pairs.
+
+    Pairs inside a row are the even row step's comparators; pairs that
+    straddle a row boundary — ``(h, side-1)`` with ``(h+1, 0)`` — are
+    exactly the wrap-around comparisons.
+    """
+    if side % 2 != 0:
+        raise DimensionError("the embedding requires an even side")
+    pairs = []
+    for k in range(side * side // 2 - 1):
+        a, b = 2 * k + 1, 2 * k + 2
+        pairs.append(((a // side, a % side), (b // side, b % side)))
+    return pairs

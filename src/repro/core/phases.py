@@ -1,0 +1,56 @@
+"""Named constructors for the comparator phases used by the paper's algorithms.
+
+These helpers make :mod:`repro.core.algorithms` read like the paper's prose:
+``row_odd_bubble("odd")`` is "the odd rows perform an odd step of the bubble
+sort".  All parity language follows the paper's 1-based numbering (see
+:mod:`repro.core.schedule`).
+"""
+
+from __future__ import annotations
+
+from repro.core.schedule import FORWARD, REVERSE, LineOp, Lines, WrapOp
+
+__all__ = [
+    "row_odd_bubble",
+    "row_even_bubble",
+    "row_odd_reverse",
+    "row_even_reverse",
+    "col_odd_bubble",
+    "col_even_bubble",
+    "wraparound",
+]
+
+
+def row_odd_bubble(lines: Lines = "all") -> LineOp:
+    """Odd step of the ordinary bubble sort along the selected rows."""
+    return LineOp(axis="row", offset=0, direction=FORWARD, lines=lines)
+
+
+def row_even_bubble(lines: Lines = "all") -> LineOp:
+    """Even step of the ordinary bubble sort along the selected rows."""
+    return LineOp(axis="row", offset=1, direction=FORWARD, lines=lines)
+
+
+def row_odd_reverse(lines: Lines = "all") -> LineOp:
+    """Odd step of the *reverse* bubble sort (Definition 1) along rows."""
+    return LineOp(axis="row", offset=0, direction=REVERSE, lines=lines)
+
+
+def row_even_reverse(lines: Lines = "all") -> LineOp:
+    """Even step of the reverse bubble sort along rows."""
+    return LineOp(axis="row", offset=1, direction=REVERSE, lines=lines)
+
+
+def col_odd_bubble(lines: Lines = "all") -> LineOp:
+    """Odd step of the bubble sort along the selected columns (smaller on top)."""
+    return LineOp(axis="col", offset=0, direction=FORWARD, lines=lines)
+
+
+def col_even_bubble(lines: Lines = "all") -> LineOp:
+    """Even step of the bubble sort along the selected columns."""
+    return LineOp(axis="col", offset=1, direction=FORWARD, lines=lines)
+
+
+def wraparound() -> WrapOp:
+    """The row-major algorithms' wrap-around comparisons (extra wires)."""
+    return WrapOp()

@@ -1,0 +1,92 @@
+"""Pure-Python reference executor (the semantic oracle).
+
+This executor interprets a :class:`~repro.core.schedule.Schedule` one
+comparator at a time using the explicit comparator lists from
+:func:`repro.core.schedule.comparator_pairs`.  It is deliberately slow and
+simple — its role is to pin down the intended semantics so the vectorized
+engine and the processor-level mesh machine can be property-tested against
+it on small meshes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.algorithms import check_side
+from repro.core.orders import is_sorted_grid, target_grid
+from repro.core.schedule import Schedule, comparator_pairs, validate_schedule
+from repro.errors import DimensionError, StepLimitExceeded
+
+__all__ = ["ReferenceMachine", "reference_sort"]
+
+Grid = list[list[int]]
+
+
+def _to_grid(array: np.ndarray | Sequence[Sequence[int]]) -> Grid:
+    grid = [list(map(int, row)) for row in np.asarray(array)]
+    side = len(grid)
+    if side == 0 or any(len(row) != side for row in grid):
+        raise DimensionError("reference machine requires a non-empty square grid")
+    return grid
+
+
+class ReferenceMachine:
+    """Cell-by-cell interpreter for a schedule on a single grid."""
+
+    def __init__(self, schedule: Schedule, grid: np.ndarray | Sequence[Sequence[int]]):
+        self.grid: Grid = _to_grid(grid)
+        self.side = len(self.grid)
+        check_side(schedule, self.side)
+        validate_schedule(schedule, self.side)
+        self.schedule = schedule
+        self.t = 0
+        # Pre-expand each cycle step into its comparator list.
+        self._pairs_per_step = [
+            [pair for op in step for pair in comparator_pairs(op, self.side)]
+            for step in schedule.steps
+        ]
+
+    def step(self) -> None:
+        """Execute the next schedule step on the stored grid."""
+        self.t += 1
+        pairs = self._pairs_per_step[(self.t - 1) % len(self._pairs_per_step)]
+        g = self.grid
+        for (lr, lc), (hr, hc) in pairs:
+            a, b = g[lr][lc], g[hr][hc]
+            if a > b:
+                g[lr][lc], g[hr][hc] = b, a
+
+    def run(self, num_steps: int) -> None:
+        for _ in range(num_steps):
+            self.step()
+
+    def as_array(self) -> np.ndarray:
+        return np.array(self.grid, dtype=np.int64)
+
+    def is_sorted(self) -> bool:
+        return bool(is_sorted_grid(self.as_array(), self.schedule.order))
+
+
+def reference_sort(
+    schedule: Schedule,
+    grid: np.ndarray | Sequence[Sequence[int]],
+    *,
+    max_steps: int,
+) -> tuple[int, np.ndarray]:
+    """Sort one grid to completion with the reference machine.
+
+    Returns ``(t_f, final_grid)`` where ``t_f`` is the first step after which
+    the grid equals the target layout (0 if already sorted).  Raises
+    :class:`StepLimitExceeded` if the cap is reached first.
+    """
+    machine = ReferenceMachine(schedule, grid)
+    target = target_grid(machine.as_array(), machine.side, schedule.order)
+    if np.array_equal(machine.as_array(), target):
+        return 0, machine.as_array()
+    for t in range(1, max_steps + 1):
+        machine.step()
+        if np.array_equal(machine.as_array(), target):
+            return t, machine.as_array()
+    raise StepLimitExceeded(max_steps, 1)

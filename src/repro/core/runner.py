@@ -1,0 +1,140 @@
+"""High-level sorting API: algorithm names in, step counts out.
+
+This module is the main user entry point of the core library::
+
+    >>> import numpy as np
+    >>> from repro.core.runner import sort_grid
+    >>> from repro.randomness import random_permutation_grid
+    >>> grid = random_permutation_grid(8, rng=0)
+    >>> result = sort_grid("snake_1", grid)
+    >>> bool(result.completed)
+    True
+
+It resolves algorithm names through the registry, picks a safe step cap,
+and delegates execution to the vectorized engine (or the pure-Python
+reference engine for verification runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.algorithms import get_algorithm
+from repro.core.engine import (
+    SortOutcome,
+    default_step_cap,
+    iter_steps,
+    run_fixed_steps,
+    run_until_sorted,
+)
+from repro.core.orders import validate_grid
+from repro.core.reference import reference_sort
+from repro.core.schedule import Schedule
+from repro.errors import DimensionError
+
+__all__ = ["sort_grid", "sort_steps", "SortReport", "describe_algorithm", "resolve_algorithm"]
+
+
+@dataclass
+class SortReport:
+    """Outcome of :func:`sort_grid` with the run's provenance attached."""
+
+    algorithm: str
+    side: int
+    outcome: SortOutcome
+
+    @property
+    def steps(self) -> np.ndarray:
+        return self.outcome.steps
+
+    @property
+    def completed(self) -> np.ndarray:
+        return self.outcome.completed
+
+    @property
+    def final(self) -> np.ndarray:
+        return self.outcome.final
+
+    def steps_scalar(self) -> int:
+        return self.outcome.steps_scalar()
+
+
+def resolve_algorithm(algorithm: str | Schedule) -> Schedule:
+    """Coerce a registry name or an explicit schedule to a schedule."""
+    if isinstance(algorithm, Schedule):
+        return algorithm
+    return get_algorithm(algorithm)
+
+
+_resolve = resolve_algorithm
+
+
+def sort_grid(
+    algorithm: str | Schedule,
+    grid: np.ndarray,
+    *,
+    max_steps: int | None = None,
+    engine: str = "numpy",
+    raise_on_cap: bool = False,
+) -> SortReport:
+    """Sort a (possibly batched) grid to completion.
+
+    Parameters
+    ----------
+    algorithm:
+        Registry name (``"snake_1"`` etc.) or an explicit schedule.
+    grid:
+        ``(side, side)`` or ``(..., side, side)`` array; left unmodified.
+    max_steps:
+        Step cap; defaults to :func:`repro.core.engine.default_step_cap`.
+    engine:
+        ``"numpy"`` (vectorized, batch-capable) or ``"reference"``
+        (pure-Python oracle; single grid only).
+    raise_on_cap:
+        Raise :class:`~repro.errors.StepLimitExceeded` instead of reporting
+        ``steps == -1`` entries.
+    """
+    schedule = _resolve(algorithm)
+    side = validate_grid(grid)
+    if engine == "numpy":
+        outcome = run_until_sorted(
+            schedule, grid, max_steps=max_steps, raise_on_cap=raise_on_cap
+        )
+    elif engine == "reference":
+        arr = np.asarray(grid)
+        if arr.ndim != 2:
+            raise DimensionError("the reference engine accepts a single grid only")
+        cap = max_steps if max_steps is not None else default_step_cap(side)
+        t_f, final = reference_sort(schedule, arr, max_steps=cap)
+        outcome = SortOutcome(
+            steps=np.asarray(t_f, dtype=np.int64),
+            completed=np.asarray(True),
+            final=final,
+            max_steps=cap,
+        )
+    else:
+        raise DimensionError(f"unknown engine {engine!r}; use 'numpy' or 'reference'")
+    return SortReport(algorithm=schedule.name, side=side, outcome=outcome)
+
+
+def sort_steps(
+    algorithm: str | Schedule,
+    grid: np.ndarray,
+    num_steps: int,
+    *,
+    start_t: int = 1,
+) -> np.ndarray:
+    """Grid state after exactly ``num_steps`` steps (vectorized engine)."""
+    return run_fixed_steps(_resolve(algorithm), grid, num_steps, start_t=start_t)
+
+
+def trace(algorithm: str | Schedule, grid: np.ndarray, num_steps: int):
+    """Iterate ``(t, snapshot)`` over the first ``num_steps`` steps."""
+    return iter_steps(_resolve(algorithm), grid, num_steps)
+
+
+def describe_algorithm(algorithm: str | Schedule) -> str:
+    """Human-readable step cycle of an algorithm."""
+    return _resolve(algorithm).describe()

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause without
+swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DimensionError",
+    "UnsupportedMeshError",
+    "ScheduleValidationError",
+    "StepLimitExceeded",
+    "MissingWireError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class DimensionError(ReproError, ValueError):
+    """An input array has the wrong shape, dtype, or contents."""
+
+
+class UnsupportedMeshError(ReproError, ValueError):
+    """An algorithm was asked to run on a mesh side it is not defined for.
+
+    The two row-major algorithms of the paper require an even mesh side
+    (``sqrt(N) = 2n``): at odd side the wrap-around comparison would collide
+    with the even row-sorting step in the last column.
+    """
+
+
+class ScheduleValidationError(ReproError, ValueError):
+    """A schedule step touches the same cell twice, or is otherwise malformed."""
+
+
+class StepLimitExceeded(ReproError, RuntimeError):
+    """A run hit its step cap before every grid reached the target order.
+
+    Attributes
+    ----------
+    steps_taken:
+        Number of steps executed before giving up.
+    unfinished:
+        Number of batch elements that had not reached the target order.
+    """
+
+    def __init__(self, steps_taken: int, unfinished: int, message: str | None = None):
+        self.steps_taken = steps_taken
+        self.unfinished = unfinished
+        super().__init__(
+            message
+            or f"step cap of {steps_taken} reached with {unfinished} grid(s) unsorted"
+        )
+
+
+class MissingWireError(ReproError, RuntimeError):
+    """A comparator was scheduled over a link the mesh does not provide.
+
+    Raised by the processor-level mesh machine when a wrap-around comparison
+    is executed on a mesh built without wrap-around wires — the paper's
+    "extra wires" requirement for the row-major algorithms.
+    """

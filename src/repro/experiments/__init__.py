@@ -1,0 +1,29 @@
+"""Experiment harness: Monte-Carlo runners and the per-theorem registry."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.montecarlo import (
+    TrialStats,
+    sample_sort_steps,
+    sample_statistic_after_steps,
+    summarize,
+)
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    experiment_ids,
+    run_experiment,
+)
+from repro.experiments.tables import Table
+
+__all__ = [
+    "ExperimentConfig",
+    "TrialStats",
+    "sample_sort_steps",
+    "sample_statistic_after_steps",
+    "summarize",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "experiment_ids",
+    "run_experiment",
+    "Table",
+]

@@ -1,0 +1,73 @@
+"""Command-line entry point: ``python -m repro.experiments [ids...]``.
+
+Examples::
+
+    python -m repro.experiments --list
+    python -m repro.experiments E-T2 E-SCALE
+    python -m repro.experiments --all --scale full --csv results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+from repro.experiments.report import write_summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the experiments reproducing Savari (SPAA 1993).",
+    )
+    parser.add_argument("ids", nargs="*", help="experiment ids (see --list)")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--scale", choices=("quick", "full"), default="quick")
+    parser.add_argument("--seed", type=int, default=20260706)
+    parser.add_argument("--csv", metavar="DIR", help="also write each table as CSV")
+    parser.add_argument(
+        "--summary", metavar="FILE",
+        help="run the selected experiments (default: all) and write a "
+             "markdown summary report",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id in experiment_ids():
+            print(f"{exp_id:12s} {EXPERIMENTS[exp_id].paper_artifact}")
+        return 0
+
+    if args.summary:
+        cfg = ExperimentConfig(scale=args.scale, seed=args.seed)
+        path = write_summary(args.summary, cfg, ids=args.ids or None)
+        print(f"wrote {path}")
+        return 0
+
+    ids = experiment_ids() if args.all else args.ids
+    if not ids:
+        parser.print_usage()
+        print("give experiment ids, --all, or --list", file=sys.stderr)
+        return 2
+
+    cfg = ExperimentConfig(scale=args.scale, seed=args.seed)
+    for exp_id in ids:
+        start = time.perf_counter()
+        table = run_experiment(exp_id, cfg)
+        elapsed = time.perf_counter() - start
+        print(table.to_text())
+        print(f"  [{exp_id} finished in {elapsed:.1f}s at scale={cfg.scale}]")
+        print()
+        if args.csv:
+            path = Path(args.csv) / f"{exp_id}.csv"
+            table.to_csv(path)
+            print(f"  wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,144 @@
+"""Seeded Monte-Carlo runners for step-count and potential statistics.
+
+All sampling is reproducible: a root seed is turned into independent child
+streams with ``SeedSequence.spawn`` (see :mod:`repro.randomness`).  Runs are
+batched — the vectorized engine advances every trial's grid simultaneously,
+which is what makes Θ(N)-step experiments on hundreds of permutations cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+
+import numpy as np
+
+from repro.core.engine import default_step_cap, run_fixed_steps, run_until_sorted
+from repro.core.runner import resolve_algorithm
+from repro.core.schedule import Schedule
+from repro.errors import StepLimitExceeded
+from repro.randomness import SeedLike, as_generator, random_permutation_grid, random_zero_one_grid
+
+__all__ = ["TrialStats", "summarize", "sample_sort_steps", "sample_statistic_after_steps"]
+
+
+@dataclass
+class TrialStats:
+    """Summary statistics of a sample of trial outcomes."""
+
+    count: int
+    mean: float
+    std: float
+    sem: float
+    minimum: float
+    maximum: float
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        """Normal-approximation 95% confidence interval for the mean."""
+        half = 1.96 * self.sem
+        return (self.mean - half, self.mean + half)
+
+    def describe(self) -> str:
+        lo, hi = self.ci95
+        return (
+            f"mean={self.mean:.2f} ± {1.96 * self.sem:.2f} (95% CI [{lo:.2f}, {hi:.2f}]), "
+            f"std={self.std:.2f}, range [{self.minimum:.0f}, {self.maximum:.0f}], "
+            f"trials={self.count}"
+        )
+
+
+def summarize(values: np.ndarray) -> TrialStats:
+    """Summarize a 1-D sample."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return TrialStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=std,
+        sem=std / sqrt(arr.size) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def sample_sort_steps(
+    algorithm: str | Schedule,
+    side: int,
+    trials: int,
+    *,
+    seed: SeedLike = 0,
+    max_steps: int | None = None,
+    input_kind: str = "permutation",
+    batch_size: int | None = None,
+) -> np.ndarray:
+    """Step counts over ``trials`` random inputs (batched execution).
+
+    ``input_kind`` is ``"permutation"`` (random permutations of ``0..N-1``)
+    or ``"zero_one"`` (the paper's random :math:`\\mathcal{A}^{01}`
+    distribution).  Raises :class:`StepLimitExceeded` if any trial fails to
+    finish — the algorithms have Θ(N) worst cases, so with the default cap
+    this indicates a bug.
+    """
+    rng = as_generator(seed)
+    if max_steps is None:
+        max_steps = default_step_cap(side)
+    if batch_size is None:
+        batch_size = min(trials, 256)
+    out = np.empty(trials, dtype=np.int64)
+    done = 0
+    while done < trials:
+        batch = min(batch_size, trials - done)
+        if input_kind == "permutation":
+            grids = random_permutation_grid(side, batch=batch, rng=rng)
+        elif input_kind == "zero_one":
+            grids = random_zero_one_grid(side, batch=batch, rng=rng)
+        else:
+            raise ValueError(f"unknown input_kind {input_kind!r}")
+        outcome = run_until_sorted(
+            resolve_algorithm(algorithm), grids, max_steps=max_steps
+        )
+        if not outcome.all_completed:
+            raise StepLimitExceeded(max_steps, int(np.sum(~outcome.completed)))
+        out[done : done + batch] = outcome.steps
+        done += batch
+    return out
+
+
+def sample_statistic_after_steps(
+    algorithm: str | Schedule,
+    side: int,
+    trials: int,
+    statistic,
+    *,
+    num_steps: int = 1,
+    seed: SeedLike = 0,
+    input_kind: str = "zero_one",
+    batch_size: int | None = None,
+) -> np.ndarray:
+    """Sample ``statistic(grid_after_num_steps)`` over random inputs.
+
+    ``statistic`` must accept a batched ``(..., side, side)`` array and
+    return a batch of numbers (all the trackers in :mod:`repro.zeroone` do).
+    Used for the moment experiments (E-L4, E-L9, E-L11, E-L14).
+    """
+    rng = as_generator(seed)
+    if batch_size is None:
+        batch_size = min(trials, 512)
+    schedule = resolve_algorithm(algorithm)
+    chunks = []
+    done = 0
+    while done < trials:
+        batch = min(batch_size, trials - done)
+        if input_kind == "permutation":
+            grids = random_permutation_grid(side, batch=batch, rng=rng)
+        elif input_kind == "zero_one":
+            grids = random_zero_one_grid(side, batch=batch, rng=rng)
+        else:
+            raise ValueError(f"unknown input_kind {input_kind!r}")
+        after = run_fixed_steps(schedule, grids, num_steps)
+        chunks.append(np.asarray(statistic(after)))
+        done += batch
+    return np.concatenate([np.atleast_1d(c) for c in chunks])

@@ -1,0 +1,142 @@
+"""The 1-D odd-even transposition sort (bubble sort) on a linear array.
+
+This is the substrate the paper generalizes (Section 1): cells are numbered
+``1 .. N`` left to right; at odd steps cells (1,2), (3,4), ... compare and
+swap so the smaller value lands in the leftmost cell; at even steps cells
+(2,3), (4,5), ... do the same.  Definition 1's *reverse* bubble sort stores
+the smaller value in the rightmost cell instead.
+
+The implementation is batched and vectorized like the 2-D engine: arrays
+shaped ``(..., N)`` advance one transposition step per call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DimensionError, StepLimitExceeded
+
+__all__ = [
+    "transposition_step",
+    "LinearSortOutcome",
+    "sort_linear",
+    "odd_even_sort_steps",
+    "worst_case_input",
+]
+
+
+def transposition_step(
+    array: np.ndarray, t: int, *, direction: int = 1
+) -> None:
+    """Apply paper step ``t`` (1-based) of the (reverse) bubble sort in place.
+
+    Odd ``t`` pairs cells (1,2),(3,4),...; even ``t`` pairs (2,3),(4,5),....
+    ``direction=+1`` stores the smaller value at the lower index (ordinary
+    bubble sort); ``direction=-1`` stores it at the higher index (reverse
+    bubble sort, Definition 1).
+    """
+    if t < 1:
+        raise DimensionError(f"step times are 1-based, got {t}")
+    if direction not in (1, -1):
+        raise DimensionError(f"direction must be +1 or -1, got {direction}")
+    n = array.shape[-1]
+    offset = (t - 1) % 2
+    p = (n - offset) // 2
+    if p <= 0:
+        return
+    a = array[..., offset : offset + 2 * p : 2]
+    b = array[..., offset + 1 : offset + 2 * p : 2]
+    lo = np.minimum(a, b)
+    hi = np.maximum(a, b)
+    if direction == 1:
+        a[...] = lo
+        b[...] = hi
+    else:
+        a[...] = hi
+        b[...] = lo
+
+
+@dataclass
+class LinearSortOutcome:
+    """Result of :func:`sort_linear` (mirrors the 2-D ``SortOutcome``)."""
+
+    steps: np.ndarray
+    completed: np.ndarray
+    final: np.ndarray
+    max_steps: int
+
+    def steps_scalar(self) -> int:
+        if self.steps.ndim != 0:
+            raise DimensionError("steps_scalar() on a batched outcome")
+        return int(self.steps)
+
+
+def sort_linear(
+    array: np.ndarray,
+    *,
+    direction: int = 1,
+    max_steps: int | None = None,
+    raise_on_cap: bool = False,
+) -> LinearSortOutcome:
+    """Run the (reverse) odd-even transposition sort to completion.
+
+    ``steps`` records, per batch element, the first 1-based step after which
+    the array is sorted (ascending for ``direction=+1``, descending for
+    ``direction=-1``); 0 when already sorted.  The classical result proven in
+    [Leighton 1992] guarantees completion within N steps, so the default cap
+    is ``N + 2`` and hitting it indicates a bug.
+    """
+    work = np.array(array, copy=True)
+    if work.ndim < 1 or work.shape[-1] < 1:
+        raise DimensionError(f"expected a non-empty (..., N) array, got {work.shape}")
+    n = work.shape[-1]
+    if max_steps is None:
+        max_steps = n + 2
+    target = np.sort(work, axis=-1)
+    if direction == -1:
+        target = target[..., ::-1]
+
+    batch_shape = work.shape[:-1]
+    steps = np.full(batch_shape, -1, dtype=np.int64)
+    done = np.all(work == target, axis=-1)
+    steps = np.where(done, 0, steps)
+
+    t = 0
+    while t < max_steps and not np.all(done):
+        t += 1
+        transposition_step(work, t, direction=direction)
+        now = np.all(work == target, axis=-1)
+        newly = now & ~done
+        if np.any(newly):
+            steps = np.where(newly, t, steps)
+            done = done | now
+
+    completed = np.asarray(done)
+    if raise_on_cap and not np.all(completed):
+        raise StepLimitExceeded(max_steps, int(np.sum(~completed)))
+    return LinearSortOutcome(
+        steps=np.asarray(steps), completed=completed, final=work, max_steps=max_steps
+    )
+
+
+def odd_even_sort_steps(array: np.ndarray, *, direction: int = 1) -> int:
+    """Step count for a single 1-D input (convenience wrapper)."""
+    arr = np.asarray(array)
+    if arr.ndim != 1:
+        raise DimensionError("odd_even_sort_steps expects a single 1-D array")
+    return sort_linear(arr, direction=direction).steps_scalar()
+
+
+def worst_case_input(n: int) -> np.ndarray:
+    """An input on which the bubble sort needs close to the full N steps.
+
+    Placing the smallest element in the rightmost cell forces at least
+    ``N - 1`` steps, since the element moves at most one cell per step.
+    """
+    if n < 1:
+        raise DimensionError(f"n must be positive, got {n}")
+    out = np.arange(1, n + 1, dtype=np.int64)
+    out[-1] = 0
+    return out

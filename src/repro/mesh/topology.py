@@ -1,0 +1,129 @@
+"""Mesh-of-processors topology (the paper's machine model).
+
+A ``side x side`` mesh where each processor has up to four neighbours, plus
+— when built with ``wraparound=True`` — the extra wires the row-major
+algorithms require: a link from cell ``(h, side-1)`` to ``(h+1, 0)`` for
+``h = 0 .. side-2``, continuing the row-major linear order across row
+boundaries ("the penalty of having a wrap-around comparison is that extra
+wires are required").
+
+The topology is independent of any algorithm; the executor in
+:mod:`repro.mesh.machine` checks every scheduled comparator against the
+link set, so running a row-major schedule on a mesh without wrap wires
+raises :class:`~repro.errors.MissingWireError` — reproducing the paper's
+observation that without those wires a column of small values can never
+disperse.
+
+If :mod:`networkx` is available, :meth:`MeshTopology.graph` exposes the
+topology as a graph for diameter/path computations; the core functionality
+has no networkx dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DimensionError
+
+__all__ = ["Cell", "MeshTopology"]
+
+Cell = tuple[int, int]
+
+
+def _norm_edge(a: Cell, b: Cell) -> tuple[Cell, Cell]:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass
+class MeshTopology:
+    """The wiring of a ``side x side`` mesh of processors.
+
+    Attributes
+    ----------
+    side:
+        Mesh side (``sqrt(N)``).
+    wraparound:
+        Whether the extra wrap-around wires between the last and first
+        columns are present.
+    """
+
+    side: int
+    wraparound: bool = False
+    _links: set[tuple[Cell, Cell]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.side < 1:
+            raise DimensionError(f"side must be positive, got {self.side}")
+        links: set[tuple[Cell, Cell]] = set()
+        for r in range(self.side):
+            for c in range(self.side):
+                if c + 1 < self.side:
+                    links.add(_norm_edge((r, c), (r, c + 1)))
+                if r + 1 < self.side:
+                    links.add(_norm_edge((r, c), (r + 1, c)))
+        if self.wraparound:
+            for h in range(self.side - 1):
+                links.add(_norm_edge((h, self.side - 1), (h + 1, 0)))
+        self._links = links
+
+    @property
+    def n_cells(self) -> int:
+        return self.side * self.side
+
+    def cells(self) -> list[Cell]:
+        return [(r, c) for r in range(self.side) for c in range(self.side)]
+
+    def has_link(self, a: Cell, b: Cell) -> bool:
+        """Whether processors ``a`` and ``b`` share a wire."""
+        return _norm_edge(a, b) in self._links
+
+    def links(self) -> set[tuple[Cell, Cell]]:
+        """All wires, as normalized (sorted) cell pairs."""
+        return set(self._links)
+
+    def num_links(self) -> int:
+        return len(self._links)
+
+    def num_wrap_links(self) -> int:
+        """How many of the links are wrap-around wires."""
+        if not self.wraparound:
+            return 0
+        return self.side - 1
+
+    def neighbors(self, cell: Cell) -> list[Cell]:
+        """Processors sharing a wire with ``cell``."""
+        r, c = cell
+        if not (0 <= r < self.side and 0 <= c < self.side):
+            raise DimensionError(f"cell {cell} out of range for side {self.side}")
+        out = []
+        for cand in ((r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1)):
+            if self.has_link(cell, cand):
+                out.append(cand)
+        if self.wraparound:
+            if c == self.side - 1 and r + 1 < self.side and self.has_link(cell, (r + 1, 0)):
+                out.append((r + 1, 0))
+            if c == 0 and r - 1 >= 0 and self.has_link(cell, (r - 1, self.side - 1)):
+                out.append((r - 1, self.side - 1))
+        return out
+
+    def diameter(self) -> int:
+        """Graph diameter.
+
+        Without wrap wires this is the paper's ``2 sqrt(N) - 2``; with them
+        it can only shrink, which the tests confirm via networkx.
+        """
+        if not self.wraparound:
+            return 2 * (self.side - 1)
+        graph = self.graph()
+        import networkx as nx
+
+        return nx.diameter(graph)
+
+    def graph(self):
+        """The topology as a :class:`networkx.Graph` (requires networkx)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self.cells())
+        g.add_edges_from(self._links)
+        return g

@@ -1,0 +1,118 @@
+"""Seeded random inputs for the experiments.
+
+Everything the Monte-Carlo harness consumes comes from here: random
+permutation grids (the paper's "random permutation of N numbers, all N!
+permutations equally likely") and uniformly random 0-1 matrices with a fixed
+number of zeroes (the matrices :math:`\\mathcal{A}^{01}` of the analysis).
+
+All generators take either a :class:`numpy.random.Generator`, a seed, or a
+:class:`numpy.random.SeedSequence`, so every experiment is reproducible from
+a single recorded root seed, and independent trial streams are spawned with
+``SeedSequence.spawn`` (never by incrementing seeds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionError
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "random_permutation_grid",
+    "random_zero_one_grid",
+    "paper_zero_count",
+]
+
+SeedLike = int | None | np.random.SeedSequence | np.random.Generator
+
+
+def as_generator(seed: SeedLike) -> np.random.Generator:
+    """Coerce ``seed`` to a :class:`numpy.random.Generator`."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """``count`` independent generators derived from one root seed."""
+    if isinstance(seed, np.random.Generator):
+        # Derive a fresh SeedSequence from the generator's own stream.
+        seed = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    if not isinstance(seed, np.random.SeedSequence):
+        seed = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seed.spawn(count)]
+
+
+def random_permutation_grid(
+    side: int,
+    *,
+    batch: int | tuple[int, ...] | None = None,
+    rng: SeedLike = None,
+    dtype: np.dtype | type = np.int64,
+) -> np.ndarray:
+    """Uniformly random permutation(s) of ``0 .. side*side - 1`` on a mesh.
+
+    Returns shape ``(side, side)`` when ``batch`` is None, else
+    ``(*batch, side, side)``.
+    """
+    if side < 1:
+        raise DimensionError(f"side must be positive, got {side}")
+    gen = as_generator(rng)
+    n_cells = side * side
+    if batch is None:
+        return gen.permutation(n_cells).reshape(side, side).astype(dtype)
+    shape = (batch,) if isinstance(batch, int) else tuple(batch)
+    total = int(np.prod(shape)) if shape else 1
+    out = np.empty((total, n_cells), dtype=dtype)
+    base = np.arange(n_cells, dtype=dtype)
+    for i in range(total):
+        out[i] = gen.permutation(base)
+    return out.reshape(*shape, side, side)
+
+
+def paper_zero_count(side: int) -> int:
+    """Number of zeroes in the paper's threshold matrix :math:`\\mathcal{A}^{01}`.
+
+    For even side ``2n`` the smallest ``2n^2`` entries become zeroes (half of
+    the mesh); for odd side ``2n+1`` the appendix substitutes zeroes for the
+    smallest ``2n^2 + 2n + 1 = (N+1)/2`` entries.
+    """
+    if side < 1:
+        raise DimensionError(f"side must be positive, got {side}")
+    n_cells = side * side
+    return n_cells // 2 if side % 2 == 0 else (n_cells + 1) // 2
+
+
+def random_zero_one_grid(
+    side: int,
+    *,
+    zeros: int | None = None,
+    batch: int | tuple[int, ...] | None = None,
+    rng: SeedLike = None,
+    dtype: np.dtype | type = np.int8,
+) -> np.ndarray:
+    """Uniformly random 0-1 matrices with exactly ``zeros`` zeroes.
+
+    ``zeros`` defaults to :func:`paper_zero_count`, matching the distribution
+    of :math:`\\mathcal{A}^{01}` for a uniformly random permutation.
+    """
+    if side < 1:
+        raise DimensionError(f"side must be positive, got {side}")
+    n_cells = side * side
+    if zeros is None:
+        zeros = paper_zero_count(side)
+    if not 0 <= zeros <= n_cells:
+        raise DimensionError(f"zeros={zeros} out of range for {n_cells} cells")
+    gen = as_generator(rng)
+    shape = () if batch is None else ((batch,) if isinstance(batch, int) else tuple(batch))
+    total = int(np.prod(shape)) if shape else 1
+    out = np.ones((total, n_cells), dtype=dtype)
+    base = np.concatenate(
+        [np.zeros(zeros, dtype=dtype), np.ones(n_cells - zeros, dtype=dtype)]
+    )
+    for i in range(total):
+        out[i] = gen.permutation(base)
+    return out.reshape(*shape, side, side)

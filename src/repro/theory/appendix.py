@@ -1,0 +1,104 @@
+"""Odd-side (``sqrt(N) = 2n+1``) theory from the paper's appendix.
+
+The appendix redefines :math:`\\mathcal{A}^{01}` with ``2n^2 + 2n + 1``
+zeroes, redefines :math:`Z_1(i)`/:math:`Z_2(i)` (Definitions 12-13 — the
+trackers in :mod:`repro.zeroone.trackers` already handle both parities),
+and restates the main results:
+
+* Theorem 13 — the potential threshold becomes
+  :math:`\\lceil \\alpha (N-1) / (2N) \\rceil`;
+* Corollary 4 — the average is lower-bounded by
+  ``4 (E[Z1(0)] - ceil((N^2-1)/(4N)) - 1)``;
+* Lemma 14 — ``E[Z1(0)] = 3N/8 - sqrt(N)/8 + (N - sqrt(N) - 2)/(8N)``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import DimensionError
+from repro.theory.hypergeom import all_ones_probability, paper_odd_counts
+from repro.theory.moments import (
+    expected_from_blocks,
+    snake1_z1_blocks,
+    variance_from_blocks,
+)
+from repro.zeroone.trackers import f_threshold_odd
+
+__all__ = [
+    "e_z11_odd",
+    "e_z11_odd_paper",
+    "e_z21_odd",
+    "e_Z1_0_snake1_odd",
+    "e_Z1_0_snake1_odd_paper",
+    "var_Z1_0_snake1_odd",
+    "corollary4_average_lower",
+    "theorem13_threshold",
+]
+
+
+def _check_odd(side: int) -> int:
+    if side < 3 or side % 2 != 1:
+        raise DimensionError(f"expected an odd side >= 3, got {side}")
+    return side // 2
+
+
+def e_z11_odd(side: int) -> Fraction:
+    """Exact probability that cell (1,1) holds a zero after step 1:
+    the pair (1,1),(1,2) of :math:`\\mathcal{A}^{01}` is not all ones."""
+    n = _check_odd(side)
+    zeros, cells = paper_odd_counts(n)
+    return 1 - all_ones_probability(2, zeros, cells)
+
+
+def e_z11_odd_paper(side: int) -> Fraction:
+    """Lemma 14's printed ``3/4 + 3/(4N)``."""
+    _check_odd(side)
+    return Fraction(3, 4) + Fraction(3, 4 * side * side)
+
+
+def e_z21_odd(side: int) -> Fraction:
+    """``E[z_{2,1}] = (N+1)/(2N)``: cell (2,1) is untouched by step 1 and is
+    a zero with the odd-side zero fraction."""
+    _check_odd(side)
+    n_cells = side * side
+    return Fraction(n_cells + 1, 2 * n_cells)
+
+
+def e_Z1_0_snake1_odd(side: int) -> Fraction:
+    """Exact odd-side ``E[Z1(0)]`` via the block decomposition."""
+    n = _check_odd(side)
+    zeros, cells = paper_odd_counts(n)
+    return expected_from_blocks(snake1_z1_blocks(side), zeros, cells)
+
+
+def e_Z1_0_snake1_odd_paper(side: int) -> Fraction:
+    """Lemma 14: ``3N/8 - sqrt(N)/8 + (N - sqrt(N) - 2)/(8N)``."""
+    _check_odd(side)
+    n_cells = side * side
+    return (
+        Fraction(3 * n_cells, 8)
+        - Fraction(side, 8)
+        + Fraction(n_cells - side - 2, 8 * n_cells)
+    )
+
+
+def var_Z1_0_snake1_odd(side: int) -> Fraction:
+    """Exact odd-side ``Var[Z1(0)]`` via the block decomposition."""
+    n = _check_odd(side)
+    zeros, cells = paper_odd_counts(n)
+    return variance_from_blocks(snake1_z1_blocks(side), zeros, cells)
+
+
+def theorem13_threshold(alpha: int, side: int) -> int:
+    """Theorem 13's potential threshold ``ceil(alpha (N-1) / (2N))``."""
+    _check_odd(side)
+    return f_threshold_odd(alpha, side * side)
+
+
+def corollary4_average_lower(side: int) -> Fraction:
+    """Corollary 4: average ``>= 4 (E[Z1(0)] - ceil((N^2-1)/(4N)) - 1)``."""
+    _check_odd(side)
+    n_cells = side * side
+    ceil_term = -((-(n_cells * n_cells - 1)) // (4 * n_cells))
+    return 4 * (e_Z1_0_snake1_odd(side) - ceil_term - 1)

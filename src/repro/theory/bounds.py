@@ -1,0 +1,144 @@
+"""Per-theorem lower bounds on sorting time (Theorems 1, 2, 4, 6, 7, 9, 10, 12).
+
+Each function returns the paper's lower bound for a mesh of ``N = side^2``
+cells.  Values are exact (:class:`fractions.Fraction` or int) so that the
+experiments can print them verbatim next to measured step counts.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import DimensionError
+from repro.theory.moments import e_Y1_0_snake2, e_Z1_0_snake1
+from repro.zeroone.trackers import f_threshold, y_threshold
+
+__all__ = [
+    "diameter_lower_bound",
+    "theorem1_additional_steps",
+    "corollary2_lower_bound",
+    "theorem2_average_lower",
+    "theorem4_average_lower",
+    "corollary1_worst_case_lower",
+    "theorem6_lower_from_potential",
+    "theorem7_average_lower",
+    "theorem7_average_lower_exact",
+    "theorem9_lower_from_potential",
+    "theorem10_average_lower",
+    "theorem10_average_lower_exact",
+    "theorem12_average_lower",
+]
+
+
+def _check_even_side(side: int) -> int:
+    if side < 2 or side % 2 != 0:
+        raise DimensionError(f"expected an even side >= 2, got {side}")
+    return side * side
+
+
+def diameter_lower_bound(side: int) -> int:
+    """The trivial diameter bound ``2 sqrt(N) - 2`` mentioned in Section 1."""
+    if side < 1:
+        raise DimensionError(f"side must be positive, got {side}")
+    return 2 * side - 2
+
+
+def theorem1_additional_steps(x: int, alpha: int, side: int, *, kind: str) -> int:
+    """Theorem 1: additional steps for the row-major algorithms.
+
+    ``kind="zeros"``: an odd-numbered column holds ``x > ceil(alpha/sqrt(N))``
+    zeroes; ``kind="ones"``: an even-numbered column has weight
+    ``x > ceil((N - alpha)/sqrt(N))``.  Either way the surplus costs
+    ``(x - ceil(.) - 1) * 2 sqrt(N)`` more steps.
+    """
+    n_cells = side * side
+    if kind == "zeros":
+        ceil_term = -((-alpha) // side)
+    elif kind == "ones":
+        ceil_term = -((-(n_cells - alpha)) // side)
+    else:
+        raise DimensionError(f"kind must be 'zeros' or 'ones', got {kind!r}")
+    return max((x - ceil_term - 1) * 2 * side, 0)
+
+
+def corollary2_lower_bound(m_statistic: int, side: int) -> int:
+    """Corollary 2: sorting :math:`\\mathcal{A}` takes more than ``4 n M``
+    steps, where M is measured after the first row sorting step."""
+    _check_even_side(side)
+    n = side // 2
+    return max(4 * n * m_statistic, 0)
+
+
+def theorem2_average_lower(side: int) -> Fraction:
+    """Theorem 2: row-first average ``>= N/2 - 2 sqrt(N)``."""
+    n_cells = _check_even_side(side)
+    return Fraction(n_cells, 2) - 2 * side
+
+
+def theorem4_average_lower(side: int) -> Fraction:
+    """Theorem 4: column-first average ``>= 3N/8 - 2 sqrt(N)``."""
+    n_cells = _check_even_side(side)
+    return Fraction(3 * n_cells, 8) - 2 * side
+
+
+def corollary1_worst_case_lower(side: int) -> int:
+    """Corollary 1: worst case of both row-major algorithms ``>= 2N - 4 sqrt(N)``."""
+    n_cells = _check_even_side(side)
+    return 2 * n_cells - 4 * side
+
+
+def theorem6_lower_from_potential(x: int, side: int, *, alpha: int | None = None) -> int:
+    """Theorem 6: at potential ``x`` after step 1, at least
+    ``4 (x - f(alpha, N) - 1)`` more steps are needed (first snakelike)."""
+    n_cells = side * side
+    if alpha is None:
+        alpha = n_cells // 2
+    return max(4 * (x - f_threshold(alpha, n_cells) - 1), 0)
+
+
+def theorem7_average_lower(side: int) -> Fraction:
+    """Theorem 7 as printed: first snakelike average ``>= N/2 - sqrt(N)/2 - 4``.
+
+    (The scanned paper's "N/2 - sqrt(N)/7 - 1" is a typographical garble; the
+    value follows from Corollary 3 with Lemma 9's expectation, computed
+    exactly by :func:`theorem7_average_lower_exact`, and matches
+    ``N/2 - sqrt(N)/2 - 4`` up to o(1).)
+    """
+    n_cells = _check_even_side(side)
+    return Fraction(n_cells, 2) - Fraction(side, 2) - 4
+
+
+def theorem7_average_lower_exact(side: int) -> Fraction:
+    """Corollary 3 evaluated exactly:
+    ``4 (E[Z1(0)] - f(N/2, N) - 1)`` with Lemma 9's expectation."""
+    n_cells = _check_even_side(side)
+    return 4 * (e_Z1_0_snake1(side) - f_threshold(n_cells // 2, n_cells) - 1)
+
+
+def theorem9_lower_from_potential(x: int, alpha: int) -> int:
+    """Theorem 9: second snakelike — ``4 (x - ceil(alpha/2) - 1)`` more steps."""
+    return max(4 * (x - y_threshold(alpha) - 1), 0)
+
+
+def theorem10_average_lower(side: int) -> Fraction:
+    """Theorem 10: second snakelike average ``>= N/2 - sqrt(N)/2 - 4``."""
+    n_cells = _check_even_side(side)
+    return Fraction(n_cells, 2) - Fraction(side, 2) - 4
+
+
+def theorem10_average_lower_exact(side: int) -> Fraction:
+    """Theorem 9's bound evaluated exactly with Lemma 11's expectation:
+    ``4 (E[Y1(0)] - N/4 - 1)``."""
+    n_cells = _check_even_side(side)
+    return 4 * (e_Y1_0_snake2(side) - y_threshold(n_cells // 2) - 1)
+
+
+def theorem12_average_lower(side: int) -> Fraction:
+    """Theorem 12's displacement argument gives an average of at least
+    ``E[2m - 3]`` steps with ``m`` uniform on ``1..N``, i.e. ``N - 2``
+    (clipping ``2m-3`` at 0 only raises it)."""
+    if side < 1:
+        raise DimensionError(f"side must be positive, got {side}")
+    n_cells = side * side
+    # E[max(2m-3, 0)] for m uniform on 1..N: m=1 contributes 0 instead of -1.
+    return Fraction(sum(max(2 * m - 3, 0) for m in range(1, n_cells + 1)), n_cells)

@@ -1,0 +1,92 @@
+"""Chebyshev concentration bounds (Theorems 3, 5, 8, 11).
+
+The paper's high-probability statements all follow the same pattern: the
+step count dominates an affine function of a potential statistic ``X``
+measured after the first step, so
+
+.. math::
+
+    \\Pr[\\text{steps} \\le \\gamma N] \\le \\Pr[X \\le x_0(\\gamma)]
+    \\le \\frac{\\mathrm{Var}(X)}{(E[X] - x_0(\\gamma))^2}
+
+whenever ``E[X] > x_0(gamma)`` (inequality (1) of the paper).  The functions
+here evaluate those tails with the *exact* moments of
+:mod:`repro.theory.moments`, so they are valid finite-``n`` bounds rather
+than asymptotic estimates.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import DimensionError
+from repro.theory.moments import (
+    e_Y1_0_snake2,
+    e_Z1_0_snake1,
+    e_Z1_col_first,
+    e_Z1_row_first,
+    var_Y1_0_snake2,
+    var_Z1_0_snake1,
+    var_Z1_col_first,
+    var_Z1_row_first,
+)
+from repro.zeroone.trackers import f_threshold, y_threshold
+
+__all__ = [
+    "chebyshev_lower_tail",
+    "theorem3_tail_bound",
+    "theorem5_tail_bound",
+    "theorem8_tail_bound",
+    "theorem11_tail_bound",
+]
+
+
+def chebyshev_lower_tail(mean: Fraction, variance: Fraction, threshold: Fraction) -> Fraction:
+    """Inequality (1): ``Pr[X <= threshold] <= Var(X)/(mean - threshold)^2``
+    when ``threshold < mean``; returns 1 (the trivial bound) otherwise."""
+    if variance < 0:
+        raise DimensionError(f"variance must be non-negative, got {variance}")
+    gap = mean - Fraction(threshold)
+    if gap <= 0:
+        return Fraction(1)
+    return min(Fraction(variance) / gap**2, Fraction(1))
+
+
+def _check_even(side: int) -> int:
+    if side < 2 or side % 2 != 0:
+        raise DimensionError(f"expected an even side, got {side}")
+    return side // 2
+
+
+def theorem3_tail_bound(side: int, gamma: Fraction) -> Fraction:
+    """Theorem 3 (row-first): ``Pr[steps <= gamma*N] <= Var(Z1)/(E[Z1] -
+    (gamma+1) n - 1)^2`` — vanishes as ``n`` grows for any ``gamma < 1/2``."""
+    n = _check_even(side)
+    threshold = (Fraction(gamma) + 1) * n + 1
+    return chebyshev_lower_tail(e_Z1_row_first(n), var_Z1_row_first(n), threshold)
+
+
+def theorem5_tail_bound(side: int, gamma: Fraction) -> Fraction:
+    """Theorem 5 (column-first): same shape with the column-first Z1;
+    non-trivial for ``gamma < 3/8``."""
+    n = _check_even(side)
+    threshold = (Fraction(gamma) + 1) * n + 1
+    return chebyshev_lower_tail(e_Z1_col_first(n), var_Z1_col_first(n), threshold)
+
+
+def theorem8_tail_bound(side: int, gamma: Fraction) -> Fraction:
+    """Theorem 8 (first snakelike): steps ``>= 4 (Z1(0) - f(N/2, N) - 1)``,
+    so ``steps <= gamma N`` forces ``Z1(0) <= gamma N/4 + f + 1``."""
+    _check_even(side)
+    n_cells = side * side
+    threshold = Fraction(gamma) * Fraction(n_cells, 4) + f_threshold(n_cells // 2, n_cells) + 1
+    return chebyshev_lower_tail(e_Z1_0_snake1(side), var_Z1_0_snake1(side), threshold)
+
+
+def theorem11_tail_bound(side: int, gamma: Fraction) -> Fraction:
+    """Theorem 11 (second snakelike): as Theorem 8 with Y1(0) and
+    threshold ``gamma N/4 + ceil(N/4) + 1``."""
+    _check_even(side)
+    n_cells = side * side
+    threshold = Fraction(gamma) * Fraction(n_cells, 4) + y_threshold(n_cells // 2) + 1
+    return chebyshev_lower_tail(e_Y1_0_snake2(side), var_Y1_0_snake2(side), threshold)

@@ -1,0 +1,71 @@
+"""Exact hypergeometric probabilities for random 0-1 meshes.
+
+Every probability in the paper's moment computations reduces to: for a
+uniformly random 0-1 matrix with exactly ``Z`` zeroes among ``T`` cells,
+what is the probability that a *fixed* set of ``k`` cells shows a specific
+pattern containing ``z`` zeroes?  The answer is
+
+.. math::
+
+    \\Pr = \\binom{T - k}{Z - z} \\Big/ \\binom{T}{Z},
+
+independent of which pattern with ``z`` zeroes is asked for.  All values are
+:class:`fractions.Fraction` — floats appear only at the presentation layer.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import comb
+
+from repro.errors import DimensionError
+
+__all__ = [
+    "pattern_probability",
+    "all_ones_probability",
+    "all_zeros_probability",
+    "paper_even_counts",
+    "paper_odd_counts",
+]
+
+
+def pattern_probability(z: int, k: int, total_zeros: int, total_cells: int) -> Fraction:
+    """Probability that ``k`` fixed cells show a *specific* pattern with
+    ``z`` zeroes, under a uniform 0-1 fill with exactly ``total_zeros`` zeroes."""
+    if not 0 <= k <= total_cells:
+        raise DimensionError(f"pattern of {k} cells out of {total_cells}")
+    if not 0 <= z <= k:
+        raise DimensionError(f"{z} zeroes in a {k}-cell pattern")
+    if not 0 <= total_zeros <= total_cells:
+        raise DimensionError(f"{total_zeros} zeroes among {total_cells} cells")
+    remaining = total_zeros - z
+    if remaining < 0 or remaining > total_cells - k:
+        return Fraction(0)
+    return Fraction(comb(total_cells - k, remaining), comb(total_cells, total_zeros))
+
+
+def all_ones_probability(k: int, total_zeros: int, total_cells: int) -> Fraction:
+    """Probability that ``k`` fixed cells are all ones."""
+    return pattern_probability(0, k, total_zeros, total_cells)
+
+
+def all_zeros_probability(k: int, total_zeros: int, total_cells: int) -> Fraction:
+    """Probability that ``k`` fixed cells are all zeroes."""
+    return pattern_probability(k, k, total_zeros, total_cells)
+
+
+def paper_even_counts(n: int) -> tuple[int, int]:
+    """``(total_zeros, total_cells)`` for the even-side mesh ``2n``:
+    :math:`2n^2` zeroes among :math:`4n^2` cells."""
+    if n < 1:
+        raise DimensionError(f"n must be positive, got {n}")
+    return 2 * n * n, 4 * n * n
+
+
+def paper_odd_counts(n: int) -> tuple[int, int]:
+    """``(total_zeros, total_cells)`` for the odd-side mesh ``2n+1``:
+    :math:`2n^2 + 2n + 1` zeroes among :math:`(2n+1)^2` cells (appendix)."""
+    if n < 1:
+        raise DimensionError(f"n must be positive, got {n}")
+    side = 2 * n + 1
+    return 2 * n * n + 2 * n + 1, side * side

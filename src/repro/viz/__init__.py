@@ -1,0 +1,5 @@
+"""ASCII visualization of grids, traces, and series."""
+
+from repro.viz.ascii import ascii_series, filmstrip, render_grid, render_zero_one
+
+__all__ = ["ascii_series", "filmstrip", "render_grid", "render_zero_one"]

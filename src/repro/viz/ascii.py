@@ -1,0 +1,117 @@
+"""ASCII rendering of grids, 0-1 traces, and data series.
+
+No plotting backend is assumed (the reproduction environment is offline);
+these renderers target terminals and Markdown code blocks.  The filmstrip
+view of a 0-1 trace makes the paper's travel lemmas *visible*: surpluses of
+zeroes drift left one column per row-sorting step.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.orders import validate_grid
+from repro.errors import DimensionError
+
+__all__ = ["render_zero_one", "render_grid", "filmstrip", "ascii_series"]
+
+
+def render_zero_one(grid01: np.ndarray, *, zero: str = "#", one: str = ".") -> str:
+    """Render a 0-1 matrix; zeroes (the small values) as ``#`` by default."""
+    arr = np.asarray(grid01)
+    validate_grid(arr)
+    if arr.ndim != 2:
+        raise DimensionError("render_zero_one expects a single grid")
+    return "\n".join(
+        "".join(zero if cell == 0 else one for cell in row) for row in arr
+    )
+
+
+def render_grid(grid: np.ndarray, *, width: int | None = None) -> str:
+    """Render an integer grid with aligned columns."""
+    arr = np.asarray(grid)
+    validate_grid(arr)
+    if arr.ndim != 2:
+        raise DimensionError("render_grid expects a single grid")
+    if width is None:
+        width = max(len(str(int(v))) for v in arr.ravel())
+    return "\n".join(
+        " ".join(str(int(v)).rjust(width) for v in row) for row in arr
+    )
+
+
+def filmstrip(
+    frames: Sequence[np.ndarray],
+    *,
+    labels: Sequence[str] | None = None,
+    gap: str = "   ",
+    zero: str = "#",
+    one: str = ".",
+) -> str:
+    """Render several 0-1 grids side by side (a trace over steps)."""
+    if not frames:
+        raise DimensionError("filmstrip needs at least one frame")
+    rendered = [render_zero_one(f, zero=zero, one=one).splitlines() for f in frames]
+    height = max(len(r) for r in rendered)
+    widths = [max(len(line) for line in r) for r in rendered]
+    lines = []
+    if labels is not None:
+        if len(labels) != len(frames):
+            raise DimensionError("one label per frame required")
+        lines.append(gap.join(str(l).ljust(w) for l, w in zip(labels, widths)))
+    for i in range(height):
+        lines.append(
+            gap.join(
+                (r[i] if i < len(r) else "").ljust(w)
+                for r, w in zip(rendered, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def ascii_series(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """A minimal multi-series scatter chart for terminals.
+
+    Each series is drawn with its own marker (first letter of its name);
+    axes are linear, annotated with min/max.  Intended for the example
+    scripts, not for precise reading.
+    """
+    xs = np.asarray(x, dtype=float)
+    if xs.size == 0 or not series:
+        raise DimensionError("ascii_series needs data")
+    all_y = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    markers = {}
+    used = set()
+    for name in series:
+        mark = next((ch for ch in name if ch.isalnum() and ch not in used), "*")
+        used.add(mark)
+        markers[name] = mark
+    for name, ys in series.items():
+        ys_arr = np.asarray(ys, dtype=float)
+        if ys_arr.size != xs.size:
+            raise DimensionError(f"series {name!r} length != x length")
+        for xv, yv in zip(xs, ys_arr):
+            col = int(round((xv - x_lo) / x_span * (width - 1)))
+            row = height - 1 - int(round((yv - y_lo) / y_span * (height - 1)))
+            canvas[row][col] = markers[name]
+    lines = [f"y: [{y_lo:.3g}, {y_hi:.3g}]"]
+    lines += ["|" + "".join(row) for row in canvas]
+    lines.append("+" + "-" * width)
+    lines.append(f" x: [{x_lo:.3g}, {x_hi:.3g}]")
+    lines.append(
+        " legend: " + ", ".join(f"{mark}={name}" for name, mark in markers.items())
+    )
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Threshold (0-1) matrices: the paper's :math:`\\mathcal{A}^{01}` reduction.
+
+For a permutation grid :math:`\\mathcal{A}` of ``1..N`` (we use ``0..N-1``),
+the matrix :math:`\\mathcal{A}^{01}` substitutes zeroes for the smallest half
+of the entries and ones for the rest.  Because every algorithm here is an
+oblivious comparison-exchange procedure, the number of steps needed to sort
+:math:`\\mathcal{A}` is lower-bounded by the number needed to sort
+:math:`\\mathcal{A}^{01}` — the standard 0-1 principle argument the paper
+leans on throughout.
+
+For even side ``2n`` the zero count is ``2n^2`` (exactly half); for odd side
+``2n+1`` the appendix uses ``2n^2 + 2n + 1 = (N+1)/2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.orders import validate_grid
+from repro.errors import DimensionError
+from repro.randomness import paper_zero_count
+
+__all__ = ["threshold_matrix", "threshold_at", "is_zero_one"]
+
+
+def threshold_matrix(grid: np.ndarray, zeros: int | None = None) -> np.ndarray:
+    """The paper's :math:`\\mathcal{A}^{01}` for a (batched) permutation grid.
+
+    ``zeros`` is the number of smallest entries replaced by 0; it defaults to
+    :func:`repro.randomness.paper_zero_count` of the side.  Works for any
+    grid of distinct values — the threshold is the ``zeros``-th order
+    statistic of each batch element.
+    """
+    arr = np.asarray(grid)
+    side = validate_grid(arr)
+    if zeros is None:
+        zeros = paper_zero_count(side)
+    return threshold_at(arr, zeros)
+
+
+def threshold_at(grid: np.ndarray, zeros: int) -> np.ndarray:
+    """0-1 matrix with 0 at the positions of the ``zeros`` smallest entries."""
+    arr = np.asarray(grid)
+    side = validate_grid(arr)
+    n_cells = side * side
+    if not 0 <= zeros <= n_cells:
+        raise DimensionError(f"zeros={zeros} out of range for {n_cells} cells")
+    if zeros == 0:
+        return np.ones_like(arr, dtype=np.int8)
+    flat = arr.reshape(*arr.shape[:-2], n_cells)
+    kth = np.sort(flat, axis=-1)[..., zeros - 1]
+    return (arr > kth[..., None, None]).astype(np.int8)
+
+
+def is_zero_one(grid: np.ndarray) -> bool:
+    """Whether every entry of ``grid`` is 0 or 1."""
+    arr = np.asarray(grid)
+    return bool(np.isin(arr, (0, 1)).all())

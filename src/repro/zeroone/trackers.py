@@ -1,0 +1,177 @@
+"""The snakelike potential statistics Z1..Z4 and Y1..Y3 (Definitions 4-10, 12-13).
+
+For the first snakelike algorithm the paper tracks, along a run on a 0-1
+matrix, four statistics measured after the four steps of each cycle
+(Definitions 4-7 for even side ``2n``; Definitions 12-13 redefine the first
+two for odd side ``2n+1``).  Lemmas 5-8 prove the chain
+
+.. math:: Z_1(i) \\le Z_2(i) \\le Z_3(i) \\le Z_4(i) + 1 \\le Z_1(i+1) + 1,
+
+i.e. the potential loses at most one unit per four-step cycle, which yields
+Theorem 6's lower bound of ``4 (x - f(alpha, N) - 1)`` additional steps when
+the potential is ``x`` after the first step.
+
+For the second snakelike algorithm the analogous statistics are Y1..Y3
+(Definitions 8-10, Lemma 10, Theorem 9).
+
+All functions are 0-based and batch-aware.  "Paper-odd" rows/columns
+(1-based 1, 3, 5, ...) are 0-based indices 0, 2, 4, ....
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.orders import validate_grid
+from repro.errors import DimensionError
+
+__all__ = [
+    "z1_statistic",
+    "z2_statistic",
+    "z3_statistic",
+    "z4_statistic",
+    "y1_statistic",
+    "y2_statistic",
+    "y3_statistic",
+    "f_threshold",
+    "f_threshold_odd",
+    "y_threshold",
+    "theorem6_additional_steps",
+    "theorem9_additional_steps",
+    "theorem13_additional_steps",
+]
+
+
+def _as_int(value: np.ndarray) -> np.ndarray | int:
+    if value.ndim == 0:
+        return int(value)
+    return value.astype(np.int64)
+
+
+def _zeros(mask_src: np.ndarray) -> np.ndarray:
+    return (np.asarray(mask_src) == 0).sum(axis=(-2, -1))
+
+
+def _zeros_1d(mask_src: np.ndarray) -> np.ndarray:
+    return (np.asarray(mask_src) == 0).sum(axis=-1)
+
+
+def z1_statistic(grid01: np.ndarray) -> np.ndarray | int:
+    """Definition 4 / 12: zeroes in the paper-odd columns before the last
+    column, plus zeroes in the paper-even rows of the last column.
+
+    For even side ``2n`` this is exactly Definition 4 (the odd columns
+    1,3,...,2n-1 and even rows of column 2n); for odd side ``2n+1`` it is
+    Definition 12 (columns 1,3,...,2n-1 and even rows of column 2n+1).
+    Measured immediately after step ``4i+1``.
+    """
+    arr = np.asarray(grid01)
+    side = validate_grid(arr)
+    body = arr[..., :, 0 : side - 1 : 2]
+    last_even_rows = arr[..., 1::2, side - 1]
+    return _as_int(_zeros(body) + _zeros_1d(last_even_rows))
+
+
+def z2_statistic(grid01: np.ndarray) -> np.ndarray | int:
+    """Definition 5 / 13: as :func:`z1_statistic` but with the paper-*odd*
+    rows of the last column.  Measured just after step ``4i+2``."""
+    arr = np.asarray(grid01)
+    side = validate_grid(arr)
+    body = arr[..., :, 0 : side - 1 : 2]
+    last_odd_rows = arr[..., 0::2, side - 1]
+    return _as_int(_zeros(body) + _zeros_1d(last_odd_rows))
+
+
+def z3_statistic(grid01: np.ndarray) -> np.ndarray | int:
+    """Definition 6: zeroes in the paper-even columns plus zeroes in the
+    paper-odd rows of column 1.  Measured right after step ``4i+3``."""
+    arr = np.asarray(grid01)
+    validate_grid(arr)
+    body = arr[..., :, 1::2]
+    first_odd_rows = arr[..., 0::2, 0]
+    return _as_int(_zeros(body) + _zeros_1d(first_odd_rows))
+
+
+def z4_statistic(grid01: np.ndarray) -> np.ndarray | int:
+    """Definition 7: zeroes in the paper-even columns plus zeroes in the
+    paper-even rows of column 1.  Measured after step ``4i+4``."""
+    arr = np.asarray(grid01)
+    validate_grid(arr)
+    body = arr[..., :, 1::2]
+    first_even_rows = arr[..., 1::2, 0]
+    return _as_int(_zeros(body) + _zeros_1d(first_even_rows))
+
+
+def y1_statistic(grid01: np.ndarray) -> np.ndarray | int:
+    """Definition 8: zeroes in the paper-odd columns (after step ``4i+1``,
+    equivalently after ``4i+2`` since column steps preserve column weights)."""
+    arr = np.asarray(grid01)
+    validate_grid(arr)
+    return _as_int(_zeros(arr[..., :, 0::2]))
+
+
+def y2_statistic(grid01: np.ndarray) -> np.ndarray | int:
+    """Definition 9: zeroes in columns 2,4,...,2n-2, the paper-odd rows of
+    column 1, and the paper-even rows of column 2n (after step ``4i+3``).
+
+    Defined for even side only, matching the paper.
+    """
+    arr = np.asarray(grid01)
+    side = validate_grid(arr)
+    if side % 2 != 0:
+        raise DimensionError(f"Y statistics require an even side, got {side}")
+    mid = arr[..., :, 1 : side - 1 : 2]
+    first_odd_rows = arr[..., 0::2, 0]
+    last_even_rows = arr[..., 1::2, side - 1]
+    return _as_int(_zeros(mid) + _zeros_1d(first_odd_rows) + _zeros_1d(last_even_rows))
+
+
+def y3_statistic(grid01: np.ndarray) -> np.ndarray | int:
+    """Definition 10: zeroes in columns 2,4,...,2n-2, the paper-even rows of
+    column 1, and the paper-odd rows of column 2n (after step ``4i+4``)."""
+    arr = np.asarray(grid01)
+    side = validate_grid(arr)
+    if side % 2 != 0:
+        raise DimensionError(f"Y statistics require an even side, got {side}")
+    mid = arr[..., :, 1 : side - 1 : 2]
+    first_even_rows = arr[..., 1::2, 0]
+    last_odd_rows = arr[..., 0::2, side - 1]
+    return _as_int(_zeros(mid) + _zeros_1d(first_even_rows) + _zeros_1d(last_odd_rows))
+
+
+def f_threshold(alpha: int, n_cells: int) -> int:
+    """Theorem 6's :math:`f(\\alpha, N) = \\lceil \\alpha/2 + \\alpha/(2\\sqrt N)\\rceil`."""
+    side = math.isqrt(n_cells)
+    if side * side != n_cells:
+        raise DimensionError(f"N={n_cells} is not a perfect square")
+    # ceil(alpha/2 + alpha/(2*side)) with exact rational arithmetic:
+    # alpha/2 + alpha/(2*side) = alpha*(side+1) / (2*side)
+    return -((-alpha * (side + 1)) // (2 * side))
+
+
+def f_threshold_odd(alpha: int, n_cells: int) -> int:
+    """Theorem 13's odd-side threshold :math:`\\lceil \\alpha(N-1)/(2N) \\rceil`."""
+    return -((-alpha * (n_cells - 1)) // (2 * n_cells))
+
+
+def y_threshold(alpha: int) -> int:
+    """Theorem 9's threshold :math:`\\lceil \\alpha/2 \\rceil`."""
+    return -((-alpha) // 2)
+
+
+def theorem6_additional_steps(x: int, alpha: int, n_cells: int) -> int:
+    """Lower bound on remaining steps given potential ``x`` after step 1
+    (Theorem 6), clipped at zero."""
+    return max(4 * (x - f_threshold(alpha, n_cells) - 1), 0)
+
+
+def theorem9_additional_steps(x: int, alpha: int) -> int:
+    """Theorem 9's analogue for the second snakelike algorithm."""
+    return max(4 * (x - y_threshold(alpha) - 1), 0)
+
+
+def theorem13_additional_steps(x: int, alpha: int, n_cells: int) -> int:
+    """Theorem 13's odd-side analogue of Theorem 6."""
+    return max(4 * (x - f_threshold_odd(alpha, n_cells) - 1), 0)

@@ -1,0 +1,33 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# One profile for the whole suite: no deadline (grid runs have variable
+# cost), a moderate example budget so the full suite stays fast.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for non-hypothesis randomized tests."""
+    return np.random.default_rng(20260706)
+
+
+@pytest.fixture(params=[4, 6, 8])
+def even_side(request) -> int:
+    return request.param
+
+
+@pytest.fixture(params=[5, 7])
+def odd_side(request) -> int:
+    return request.param

@@ -1,0 +1,45 @@
+"""Unit tests for the extension experiments' helpers and semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.orders import is_sorted_grid, target_grid
+from repro.experiments.extensions import _LOWER_CONSTANTS, _nearly_sorted
+from repro.randomness import as_generator
+
+
+class TestNearlySorted:
+    def test_is_permutation(self):
+        rng = as_generator(0)
+        grid = _nearly_sorted(6, "snake", 6, rng)
+        assert sorted(grid.ravel().tolist()) == list(range(36))
+
+    def test_zero_swaps_is_target(self):
+        rng = as_generator(0)
+        grid = _nearly_sorted(6, "snake", 0, rng)
+        np.testing.assert_array_equal(grid, target_grid(np.arange(36), 6, "snake"))
+
+    def test_few_swaps_close_to_sorted(self):
+        rng = as_generator(1)
+        grid = _nearly_sorted(8, "row_major", 4, rng)
+        # at most 8 cells differ from the target (each swap touches 2)
+        tgt = target_grid(np.arange(64), 8, "row_major")
+        assert int((grid != tgt).sum()) <= 8
+
+    def test_not_sorted_after_many_swaps(self):
+        rng = as_generator(2)
+        grid = _nearly_sorted(8, "snake", 200, rng)
+        assert not is_sorted_grid(grid, "snake")
+
+
+class TestLowerConstants:
+    def test_covers_all_algorithms(self):
+        from repro.core.algorithms import ALGORITHM_NAMES
+
+        assert set(_LOWER_CONSTANTS) == set(ALGORITHM_NAMES)
+
+    def test_values_match_theorems(self):
+        assert _LOWER_CONSTANTS["row_major_row_first"] == 0.5
+        assert _LOWER_CONSTANTS["row_major_col_first"] == 0.375
+        assert _LOWER_CONSTANTS["snake_3"] == 1.0

@@ -1,0 +1,57 @@
+"""Tests for the Table result container."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.experiments.tables import Table, format_cell
+
+
+class TestFormatCell:
+    def test_fraction(self):
+        assert format_cell(Fraction(1, 2)) == "0.500"
+
+    def test_float(self):
+        assert format_cell(3.14159) == "3.142"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_int_and_str(self):
+        assert format_cell(7) == "7"
+        assert format_cell("abc") == "abc"
+
+
+class TestTable:
+    def test_add_row_and_render(self):
+        t = Table(title="demo", headers=["a", "b"])
+        t.add_row(1, 2.5)
+        t.add_note("a note")
+        text = t.to_text()
+        assert "demo" in text
+        assert "2.500" in text
+        assert "note: a note" in text
+
+    def test_row_length_checked(self):
+        t = Table(title="demo", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_csv_roundtrip(self, tmp_path):
+        t = Table(title="demo", headers=["x", "y"])
+        t.add_row(1, "hello")
+        path = t.to_csv(tmp_path / "out.csv")
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "x,y"
+        assert content[1] == "1,hello"
+
+    def test_alignment_widths(self):
+        t = Table(title="demo", headers=["long_header", "b"])
+        t.add_row("x", "yyyyyyyyyy")
+        lines = t.to_text().splitlines()
+        header_line = lines[2]
+        row_line = lines[4]
+        assert len(header_line) == len(row_line)

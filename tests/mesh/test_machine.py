@@ -1,0 +1,95 @@
+"""Tests for the processor-level mesh machine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.no_wrap import smallest_column_adversary
+from repro.core.algorithms import get_algorithm
+from repro.core.engine import default_step_cap, run_until_sorted
+from repro.errors import DimensionError, MissingWireError, StepLimitExceeded
+from repro.mesh.machine import MeshMachine, mesh_sort
+from repro.mesh.topology import MeshTopology
+from repro.randomness import random_permutation_grid
+
+
+class TestConstruction:
+    def test_rejects_batched_grid(self, rng):
+        with pytest.raises(DimensionError):
+            MeshMachine(get_algorithm("snake_1"), random_permutation_grid(4, batch=2, rng=rng))
+
+    def test_topology_side_mismatch(self, rng):
+        with pytest.raises(DimensionError):
+            MeshMachine(
+                get_algorithm("snake_1"),
+                random_permutation_grid(4, rng=rng),
+                topology=MeshTopology(6),
+            )
+
+    def test_wrap_schedule_needs_wrap_wires(self, rng):
+        grid = random_permutation_grid(4, rng=rng)
+        with pytest.raises(MissingWireError):
+            MeshMachine(
+                get_algorithm("row_major_row_first"),
+                grid,
+                topology=MeshTopology(4, wraparound=False),
+            )
+
+    def test_default_topology_matches_schedule(self, rng):
+        grid = random_permutation_grid(4, rng=rng)
+        machine = MeshMachine(get_algorithm("row_major_row_first"), grid)
+        assert machine.topology.wraparound
+        machine2 = MeshMachine(get_algorithm("snake_1"), grid)
+        assert not machine2.topology.wraparound
+
+
+class TestExecution:
+    def test_sorts_and_matches_engine(self, rng):
+        grid = random_permutation_grid(6, rng=rng)
+        for name in ("snake_1", "row_major_col_first"):
+            t, machine = mesh_sort(
+                get_algorithm(name), grid, max_steps=default_step_cap(6)
+            )
+            vec = run_until_sorted(get_algorithm(name), grid)
+            assert t == vec.steps_scalar()
+            np.testing.assert_array_equal(machine.as_array(), vec.final)
+            assert machine.is_sorted()
+
+    def test_step_cap(self, rng):
+        grid = random_permutation_grid(6, rng=rng)
+        with pytest.raises(StepLimitExceeded):
+            mesh_sort(get_algorithm("snake_3"), grid, max_steps=1)
+
+    def test_already_sorted(self):
+        grid = np.arange(16).reshape(4, 4)
+        t, _ = mesh_sort(get_algorithm("row_major_row_first"), grid, max_steps=10)
+        assert t == 0
+
+
+class TestTrafficAccounting:
+    def test_comparison_counts(self, rng):
+        grid = random_permutation_grid(4, rng=rng)
+        machine = MeshMachine(get_algorithm("snake_1"), grid)
+        machine.step()  # step 1: odd rows 2 pairs each (2 rows) + even rows 1 pair each (2 rows)
+        assert machine.stats.total_comparisons() == 2 * 2 + 1 * 2
+        assert machine.stats.total_swaps() <= machine.stats.total_comparisons()
+
+    def test_wrap_wires_carry_traffic(self):
+        adversary = smallest_column_adversary(6)
+        t, machine = mesh_sort(
+            get_algorithm("row_major_row_first"), adversary, max_steps=default_step_cap(6)
+        )
+        wrap_traffic = sum(
+            count
+            for (a, b), count in machine.stats.comparisons.items()
+            if abs(a[1] - b[1]) > 1
+        )
+        assert wrap_traffic > 0
+
+    def test_busiest_links(self, rng):
+        grid = random_permutation_grid(4, rng=rng)
+        t, machine = mesh_sort(get_algorithm("snake_2"), grid, max_steps=1000)
+        busiest = machine.stats.busiest_links(3)
+        assert len(busiest) <= 3
+        assert all(count >= 1 for _, count in busiest)

@@ -1,0 +1,70 @@
+"""Tests for the mesh topology substrate."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import DimensionError
+from repro.mesh.topology import MeshTopology
+
+
+class TestLinks:
+    @pytest.mark.parametrize("side", [2, 4, 7])
+    def test_grid_link_count(self, side):
+        topo = MeshTopology(side)
+        assert topo.num_links() == 2 * side * (side - 1)
+
+    @pytest.mark.parametrize("side", [2, 4, 7])
+    def test_wrap_adds_side_minus_one_links(self, side):
+        plain = MeshTopology(side)
+        wrapped = MeshTopology(side, wraparound=True)
+        assert wrapped.num_links() == plain.num_links() + side - 1
+        assert wrapped.num_wrap_links() == side - 1
+
+    def test_has_link_neighbors(self):
+        topo = MeshTopology(4)
+        assert topo.has_link((0, 0), (0, 1))
+        assert topo.has_link((2, 1), (1, 1))
+        assert not topo.has_link((0, 0), (1, 1))
+        assert not topo.has_link((0, 3), (1, 0))
+
+    def test_wrap_link_present_only_with_flag(self):
+        assert MeshTopology(4, wraparound=True).has_link((0, 3), (1, 0))
+        assert not MeshTopology(4).has_link((0, 3), (1, 0))
+
+    def test_neighbors_interior(self):
+        topo = MeshTopology(4)
+        assert set(topo.neighbors((1, 1))) == {(0, 1), (2, 1), (1, 0), (1, 2)}
+
+    def test_neighbors_corner_with_wrap(self):
+        topo = MeshTopology(4, wraparound=True)
+        assert (1, 0) in topo.neighbors((0, 3))
+        assert (0, 3) in topo.neighbors((1, 0))
+
+    def test_bad_cell(self):
+        with pytest.raises(DimensionError):
+            MeshTopology(4).neighbors((4, 0))
+
+    def test_bad_side(self):
+        with pytest.raises(DimensionError):
+            MeshTopology(0)
+
+
+class TestDiameter:
+    @pytest.mark.parametrize("side", [2, 3, 5])
+    def test_plain_diameter_is_paper_bound(self, side):
+        assert MeshTopology(side).diameter() == 2 * (side - 1)
+
+    def test_plain_diameter_matches_networkx(self):
+        topo = MeshTopology(5)
+        assert topo.diameter() == nx.diameter(topo.graph())
+
+    def test_wrap_cannot_increase_diameter(self):
+        side = 6
+        assert MeshTopology(side, wraparound=True).diameter() <= 2 * (side - 1)
+
+    def test_graph_nodes(self):
+        graph = MeshTopology(3).graph()
+        assert graph.number_of_nodes() == 9
+        assert graph.number_of_edges() == MeshTopology(3).num_links()

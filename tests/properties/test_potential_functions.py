@@ -1,0 +1,94 @@
+"""Property tests for the potential statistics against brute-force recounts."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.zeroone.trackers import (
+    y1_statistic,
+    y2_statistic,
+    y3_statistic,
+    z1_statistic,
+    z2_statistic,
+    z3_statistic,
+    z4_statistic,
+)
+from repro.zeroone.weights import column_weights, column_zeros, m_statistic
+
+
+def grid01(side: int):
+    return arrays(np.int8, (side, side), elements=st.integers(0, 1))
+
+
+def _brute_z1(grid: np.ndarray) -> int:
+    side = grid.shape[0]
+    total = 0
+    for c in range(0, side - 1, 2):
+        total += int((grid[:, c] == 0).sum())
+    for r in range(1, side, 2):
+        total += int(grid[r, side - 1] == 0)
+    return total
+
+
+def _brute_z3(grid: np.ndarray) -> int:
+    side = grid.shape[0]
+    total = 0
+    for c in range(1, side, 2):
+        total += int((grid[:, c] == 0).sum())
+    for r in range(0, side, 2):
+        total += int(grid[r, 0] == 0)
+    return total
+
+
+@given(grid=grid01(6))
+def test_z1_matches_bruteforce_even(grid):
+    assert z1_statistic(grid) == _brute_z1(grid)
+
+
+@given(grid=grid01(7))
+def test_z1_matches_bruteforce_odd(grid):
+    assert z1_statistic(grid) == _brute_z1(grid)
+
+
+@given(grid=grid01(6))
+def test_z3_matches_bruteforce(grid):
+    assert z3_statistic(grid) == _brute_z3(grid)
+
+
+@given(grid=grid01(6))
+def test_z_pairs_differ_only_in_edge_rows(grid):
+    """Z2 - Z1 counts last-column parity swap; bounded by side/2."""
+    side = grid.shape[0]
+    assert abs(z2_statistic(grid) - z1_statistic(grid)) <= (side + 1) // 2
+    assert abs(z4_statistic(grid) - z3_statistic(grid)) <= (side + 1) // 2
+
+
+@given(grid=grid01(6))
+def test_y1_is_odd_column_zeros(grid):
+    assert y1_statistic(grid) == int((grid[:, 0::2] == 0).sum())
+
+
+@given(grid=grid01(6))
+def test_y2_y3_partition(grid):
+    """Y2 and Y3 count the same interior plus complementary edge cells;
+    their sum equals 2*interior + all edge-column cells of cols 1 and 2n."""
+    side = grid.shape[0]
+    interior = int((grid[:, 1 : side - 1 : 2] == 0).sum())
+    col1 = int((grid[:, 0] == 0).sum())
+    coln = int((grid[:, side - 1] == 0).sum())
+    assert y2_statistic(grid) + y3_statistic(grid) == 2 * interior + col1 + coln
+
+
+@given(grid=grid01(8))
+def test_weights_sum_to_total(grid):
+    assert int(column_weights(grid).sum() + column_zeros(grid).sum()) == grid.size
+
+
+@given(grid=grid01(6))
+def test_m_statistic_bounds(grid):
+    side = grid.shape[0]
+    m = m_statistic(grid)
+    assert -(side // 2) - 1 <= m <= side - side // 2 - 1

@@ -1,0 +1,109 @@
+"""Tests for the per-theorem lower bounds."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import DimensionError
+from repro.theory.bounds import (
+    corollary1_worst_case_lower,
+    corollary2_lower_bound,
+    diameter_lower_bound,
+    theorem1_additional_steps,
+    theorem2_average_lower,
+    theorem4_average_lower,
+    theorem6_lower_from_potential,
+    theorem7_average_lower,
+    theorem7_average_lower_exact,
+    theorem9_lower_from_potential,
+    theorem10_average_lower,
+    theorem10_average_lower_exact,
+    theorem12_average_lower,
+)
+
+
+class TestSimpleBounds:
+    def test_diameter(self):
+        assert diameter_lower_bound(8) == 14
+
+    def test_theorem2(self):
+        assert theorem2_average_lower(8) == Fraction(64, 2) - 16
+
+    def test_theorem4(self):
+        assert theorem4_average_lower(8) == Fraction(3 * 64, 8) - 16
+
+    def test_corollary1(self):
+        assert corollary1_worst_case_lower(8) == 2 * 64 - 32
+
+    def test_theorem10(self):
+        assert theorem10_average_lower(8) == 32 - 4 - 4
+
+    def test_theorem12(self):
+        # E[max(2m-3, 0)] over m=1..N equals N - 2 + 1/N
+        n_cells = 64
+        assert theorem12_average_lower(8) == Fraction(
+            sum(max(2 * m - 3, 0) for m in range(1, n_cells + 1)), n_cells
+        )
+        assert abs(float(theorem12_average_lower(8)) - (n_cells - 2)) < 1
+
+    @pytest.mark.parametrize(
+        "fn", [theorem2_average_lower, theorem4_average_lower, corollary1_worst_case_lower]
+    )
+    def test_even_side_required(self, fn):
+        with pytest.raises(DimensionError):
+            fn(7)
+
+
+class TestTheorem1:
+    def test_zeros_kind(self):
+        # x surplus zeroes above ceil(alpha/side), each costs 2*side
+        assert theorem1_additional_steps(10, 32, 8, kind="zeros") == (10 - 4 - 1) * 16
+
+    def test_ones_kind(self):
+        assert theorem1_additional_steps(10, 32, 8, kind="ones") == (10 - 4 - 1) * 16
+
+    def test_clips_at_zero(self):
+        assert theorem1_additional_steps(1, 32, 8, kind="zeros") == 0
+
+    def test_bad_kind(self):
+        with pytest.raises(DimensionError):
+            theorem1_additional_steps(1, 32, 8, kind="columns")
+
+
+class TestCorollary2:
+    def test_value(self):
+        assert corollary2_lower_bound(3, 8) == 4 * 4 * 3
+
+    def test_negative_m_clips(self):
+        assert corollary2_lower_bound(-1, 8) == 0
+
+
+class TestPotentialBounds:
+    def test_theorem6_uses_f_threshold(self):
+        # f(32, 64) = 18; x = 25 -> 4*(25-19) = 24
+        assert theorem6_lower_from_potential(25, 8) == 24
+
+    def test_theorem9(self):
+        assert theorem9_lower_from_potential(25, 32) == 4 * (25 - 16 - 1)
+
+    def test_exact_close_to_printed(self):
+        for side in (8, 16, 32):
+            exact7 = float(theorem7_average_lower_exact(side))
+            printed7 = float(theorem7_average_lower(side))
+            assert abs(exact7 - printed7) < 4
+            exact10 = float(theorem10_average_lower_exact(side))
+            printed10 = float(theorem10_average_lower(side))
+            assert abs(exact10 - printed10) < 4
+
+    def test_bounds_grow_linearly(self):
+        for fn in (
+            theorem2_average_lower,
+            theorem4_average_lower,
+            theorem7_average_lower_exact,
+            theorem10_average_lower_exact,
+            theorem12_average_lower,
+        ):
+            ratio = float(fn(32)) / float(fn(16))
+            assert 3.0 <= ratio <= 5.0  # ~4x when N quadruples

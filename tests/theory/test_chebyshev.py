@@ -1,0 +1,77 @@
+"""Tests for the Chebyshev tail bounds (Theorems 3, 5, 8, 11)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import DimensionError
+from repro.theory.chebyshev import (
+    chebyshev_lower_tail,
+    theorem3_tail_bound,
+    theorem5_tail_bound,
+    theorem8_tail_bound,
+    theorem11_tail_bound,
+)
+
+
+class TestGenericTail:
+    def test_basic(self):
+        assert chebyshev_lower_tail(Fraction(10), Fraction(4), Fraction(8)) == Fraction(1)
+        assert chebyshev_lower_tail(Fraction(10), Fraction(1), Fraction(8)) == Fraction(1, 4)
+
+    def test_trivial_when_threshold_above_mean(self):
+        assert chebyshev_lower_tail(Fraction(5), Fraction(1), Fraction(6)) == 1
+
+    def test_capped_at_one(self):
+        assert chebyshev_lower_tail(Fraction(10), Fraction(100), Fraction(9)) == 1
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(DimensionError):
+            chebyshev_lower_tail(Fraction(1), Fraction(-1), Fraction(0))
+
+
+class TestTheoremTails:
+    @pytest.mark.parametrize(
+        "fn,gamma",
+        [
+            (theorem3_tail_bound, Fraction(1, 10)),
+            (theorem5_tail_bound, Fraction(1, 10)),
+            (theorem8_tail_bound, Fraction(1, 4)),
+            (theorem11_tail_bound, Fraction(1, 4)),
+        ],
+    )
+    def test_vanishes_with_n(self, fn, gamma):
+        values = [float(fn(side, gamma)) for side in (16, 32, 64)]
+        assert values[0] >= values[1] >= values[2]
+        assert values[2] < values[0] or values[0] == 1.0
+
+    def test_theorem8_vanishes_for_gamma_below_half(self):
+        assert float(theorem8_tail_bound(64, Fraction(2, 5))) < 0.05
+
+    def test_theorem8_trivial_for_gamma_above_half(self):
+        assert theorem8_tail_bound(16, Fraction(3, 5)) == 1
+
+    def test_theorem5_trivial_beyond_three_eighths(self):
+        # Theorem 5 only bites for gamma < 3/8
+        assert theorem5_tail_bound(16, Fraction(1, 2)) == 1
+
+    @pytest.mark.parametrize(
+        "fn", [theorem3_tail_bound, theorem5_tail_bound, theorem8_tail_bound, theorem11_tail_bound]
+    )
+    def test_even_side_required(self, fn):
+        with pytest.raises(DimensionError):
+            fn(7, Fraction(1, 10))
+
+    def test_bounds_are_probabilities(self):
+        for side in (8, 16):
+            for gamma in (Fraction(1, 10), Fraction(1, 4), Fraction(2, 5)):
+                for fn in (
+                    theorem3_tail_bound,
+                    theorem5_tail_bound,
+                    theorem8_tail_bound,
+                    theorem11_tail_bound,
+                ):
+                    v = fn(side, gamma)
+                    assert 0 <= v <= 1

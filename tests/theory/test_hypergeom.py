@@ -1,0 +1,87 @@
+"""Tests for exact hypergeometric pattern probabilities."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+from math import comb
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.errors import DimensionError
+from repro.theory.hypergeom import (
+    all_ones_probability,
+    all_zeros_probability,
+    paper_even_counts,
+    paper_odd_counts,
+    pattern_probability,
+)
+
+
+class TestPatternProbability:
+    def test_single_cell_zero(self):
+        # P(cell is zero) = zeros / cells
+        assert pattern_probability(1, 1, 8, 16) == Fraction(1, 2)
+        assert pattern_probability(0, 1, 8, 16) == Fraction(1, 2)
+
+    def test_matches_binomial_formula(self):
+        z, k, zeros, cells = 2, 4, 18, 36
+        expected = Fraction(comb(cells - k, zeros - z), comb(cells, zeros))
+        assert pattern_probability(z, k, zeros, cells) == expected
+
+    @given(
+        k=st.integers(0, 6),
+        zeros=st.integers(0, 16),
+    )
+    def test_patterns_sum_to_one(self, k, zeros):
+        cells = 16
+        total = sum(
+            pattern_probability(sum(bits), k, zeros, cells)
+            for bits in product((0, 1), repeat=k)
+        )
+        assert total == 1
+
+    def test_impossible_pattern_zero(self):
+        # more zeros in pattern than exist
+        assert pattern_probability(3, 3, 2, 16) == 0
+        # remaining cells cannot absorb remaining zeros
+        assert pattern_probability(0, 2, 15, 16) == 0
+
+    def test_cross_check_scipy_hypergeom(self):
+        """Aggregate over the C(k, z) patterns = hypergeometric pmf."""
+        zeros, cells, k = 18, 36, 5
+        for z in range(k + 1):
+            ours = float(comb(k, z) * pattern_probability(z, k, zeros, cells))
+            scipy_val = float(stats.hypergeom.pmf(z, cells, zeros, k))
+            assert ours == pytest.approx(scipy_val, rel=1e-12)
+
+    def test_invalid_args(self):
+        with pytest.raises(DimensionError):
+            pattern_probability(5, 4, 8, 16)
+        with pytest.raises(DimensionError):
+            pattern_probability(0, 20, 8, 16)
+        with pytest.raises(DimensionError):
+            pattern_probability(0, 2, 20, 16)
+
+
+class TestConvenienceWrappers:
+    def test_all_ones(self):
+        assert all_ones_probability(2, 8, 16) == pattern_probability(0, 2, 8, 16)
+
+    def test_all_zeros(self):
+        assert all_zeros_probability(2, 8, 16) == pattern_probability(2, 2, 8, 16)
+
+    def test_paper_even_counts(self):
+        assert paper_even_counts(3) == (18, 36)
+
+    def test_paper_odd_counts(self):
+        assert paper_odd_counts(2) == (13, 25)
+
+    def test_counts_reject_zero(self):
+        with pytest.raises(DimensionError):
+            paper_even_counts(0)
+        with pytest.raises(DimensionError):
+            paper_odd_counts(0)

@@ -1,0 +1,70 @@
+"""Tests for the ASCII renderers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.viz.ascii import ascii_series, filmstrip, render_grid, render_zero_one
+
+
+class TestRenderZeroOne:
+    def test_basic(self):
+        grid = np.array([[0, 1], [1, 0]])
+        assert render_zero_one(grid) == "#.\n.#"
+
+    def test_custom_chars(self):
+        grid = np.array([[0, 1]] * 2)
+        assert render_zero_one(grid, zero="0", one="1") == "01\n01"
+
+    def test_rejects_batch(self):
+        with pytest.raises(DimensionError):
+            render_zero_one(np.zeros((2, 3, 3)))
+
+
+class TestRenderGrid:
+    def test_alignment(self):
+        grid = np.array([[1, 100], [10, 2]])
+        text = render_grid(grid)
+        lines = text.splitlines()
+        assert lines[0] == "  1 100"
+        assert lines[1] == " 10   2"
+
+
+class TestFilmstrip:
+    def test_side_by_side(self):
+        a = np.zeros((2, 2), dtype=int)
+        b = np.ones((2, 2), dtype=int)
+        text = filmstrip([a, b], labels=["t0", "t1"])
+        lines = text.splitlines()
+        assert lines[0].startswith("t0")
+        assert "##" in lines[1] and ".." in lines[1]
+
+    def test_label_count_checked(self):
+        with pytest.raises(DimensionError):
+            filmstrip([np.zeros((2, 2))], labels=["a", "b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DimensionError):
+            filmstrip([])
+
+
+class TestAsciiSeries:
+    def test_renders_legend_and_axes(self):
+        text = ascii_series([1, 2, 3], {"alpha": [1, 2, 3], "beta": [3, 2, 1]})
+        assert "legend:" in text
+        assert "a=alpha" in text
+        assert "x: [1, 3]" in text
+
+    def test_constant_series_ok(self):
+        text = ascii_series([1, 2], {"flat": [5, 5]})
+        assert "f" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(DimensionError):
+            ascii_series([1, 2], {"s": [1, 2, 3]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(DimensionError):
+            ascii_series([], {})

@@ -1,0 +1,77 @@
+"""Tests for threshold (A01) matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DimensionError
+from repro.randomness import paper_zero_count, random_permutation_grid
+from repro.zeroone.threshold import is_zero_one, threshold_at, threshold_matrix
+
+
+class TestThresholdMatrix:
+    def test_even_side_half_zeros(self, rng):
+        grid = random_permutation_grid(6, rng=rng)
+        a01 = threshold_matrix(grid)
+        assert int((a01 == 0).sum()) == 18
+        assert is_zero_one(a01)
+
+    def test_odd_side_majority_zeros(self, rng):
+        grid = random_permutation_grid(5, rng=rng)
+        a01 = threshold_matrix(grid)
+        assert int((a01 == 0).sum()) == 13  # (25+1)/2
+
+    def test_zeros_mark_smallest(self, rng):
+        grid = random_permutation_grid(4, rng=rng)
+        a01 = threshold_matrix(grid, zeros=5)
+        assert set(grid[a01 == 0].tolist()) == {0, 1, 2, 3, 4}
+
+    def test_batched(self, rng):
+        grids = random_permutation_grid(4, batch=3, rng=rng)
+        a01 = threshold_matrix(grids)
+        assert a01.shape == (3, 4, 4)
+        assert ((a01 == 0).sum(axis=(1, 2)) == 8).all()
+
+    def test_arbitrary_distinct_values(self):
+        grid = np.array([[10, -5], [100, 7]])
+        a01 = threshold_at(grid, 2)
+        np.testing.assert_array_equal(a01, [[1, 0], [1, 0]])
+
+    def test_zeros_zero(self):
+        grid = np.arange(4).reshape(2, 2)
+        np.testing.assert_array_equal(threshold_at(grid, 0), np.ones((2, 2)))
+
+    def test_zeros_all(self):
+        grid = np.arange(4).reshape(2, 2)
+        np.testing.assert_array_equal(threshold_at(grid, 4), np.zeros((2, 2)))
+
+    def test_out_of_range(self):
+        with pytest.raises(DimensionError):
+            threshold_at(np.arange(4).reshape(2, 2), 5)
+
+    @given(side=st.sampled_from([2, 3, 4, 5]), seed=st.integers(0, 2**31))
+    def test_monotone_in_zeros(self, side, seed):
+        grid = random_permutation_grid(side, rng=seed)
+        prev = threshold_at(grid, 0)
+        for z in range(1, side * side + 1):
+            cur = threshold_at(grid, z)
+            # zeros only grow
+            assert ((prev == 0) <= (cur == 0)).all()
+            prev = cur
+
+
+class TestPaperZeroCount:
+    @pytest.mark.parametrize("side,expected", [(4, 8), (6, 18), (5, 13), (7, 25)])
+    def test_values(self, side, expected):
+        assert paper_zero_count(side) == expected
+
+
+class TestIsZeroOne:
+    def test_true(self):
+        assert is_zero_one(np.array([[0, 1], [1, 0]]))
+
+    def test_false(self):
+        assert not is_zero_one(np.array([[0, 2], [1, 0]]))

@@ -1,0 +1,133 @@
+"""Tests for the Z/Y potential statistics and thresholds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.randomness import random_zero_one_grid
+from repro.zeroone.trackers import (
+    f_threshold,
+    f_threshold_odd,
+    theorem6_additional_steps,
+    theorem9_additional_steps,
+    theorem13_additional_steps,
+    y1_statistic,
+    y2_statistic,
+    y3_statistic,
+    y_threshold,
+    z1_statistic,
+    z2_statistic,
+    z3_statistic,
+    z4_statistic,
+)
+
+
+class TestZStatisticsEvenSide:
+    def test_all_zero_grid(self):
+        side = 4
+        grid = np.zeros((side, side), dtype=int)
+        # Z1: odd cols (2 cols x 4) + even rows of last col (2 cells)
+        assert z1_statistic(grid) == 2 * 4 + 2
+        assert z2_statistic(grid) == 2 * 4 + 2
+        # Z3: even cols (2 x 4) + odd rows of col 1 (2 cells)
+        assert z3_statistic(grid) == 2 * 4 + 2
+        assert z4_statistic(grid) == 2 * 4 + 2
+
+    def test_all_one_grid(self):
+        grid = np.ones((4, 4), dtype=int)
+        assert z1_statistic(grid) == 0
+        assert z4_statistic(grid) == 0
+
+    def test_z1_counts_correct_cells(self):
+        side = 4
+        grid = np.ones((side, side), dtype=int)
+        grid[0, 0] = 0  # odd column -> counted
+        assert z1_statistic(grid) == 1
+        grid2 = np.ones((side, side), dtype=int)
+        grid2[1, 3] = 0  # paper-even row of last column -> counted
+        assert z1_statistic(grid2) == 1
+        grid3 = np.ones((side, side), dtype=int)
+        grid3[0, 3] = 0  # paper-odd row of last column -> NOT in Z1 (but in Z2)
+        assert z1_statistic(grid3) == 0
+        assert z2_statistic(grid3) == 1
+
+    def test_z3_z4_first_column_rows(self):
+        side = 4
+        grid = np.ones((side, side), dtype=int)
+        grid[0, 0] = 0  # paper-odd row of column 1 -> in Z3 not Z4
+        assert z3_statistic(grid) == 1
+        assert z4_statistic(grid) == 0
+        grid[1, 0] = 0  # paper-even row of column 1 -> adds to Z4
+        assert z4_statistic(grid) == 1
+
+    def test_batched(self, rng):
+        grids = random_zero_one_grid(6, batch=4, rng=rng)
+        out = z1_statistic(grids)
+        assert out.shape == (4,)
+        for i in range(4):
+            assert int(out[i]) == z1_statistic(grids[i])
+
+
+class TestZStatisticsOddSide:
+    def test_definition_12_excludes_last_odd_column_body(self):
+        side = 5
+        grid = np.ones((side, side), dtype=int)
+        grid[0, 4] = 0  # paper-odd row of last column: not counted by Z1
+        assert z1_statistic(grid) == 0
+        grid[1, 4] = 0  # paper-even row of last column: counted
+        assert z1_statistic(grid) == 1
+        grid2 = np.ones((side, side), dtype=int)
+        grid2[2, 2] = 0  # interior odd column: counted
+        assert z1_statistic(grid2) == 1
+
+
+class TestYStatistics:
+    def test_all_zero_grid(self):
+        side = 4
+        grid = np.zeros((side, side), dtype=int)
+        assert y1_statistic(grid) == 2 * 4  # odd columns
+        # Y2: cols 2..2n-2 (1 col x 4) + odd rows col 1 (2) + even rows col 2n (2)
+        assert y2_statistic(grid) == 4 + 2 + 2
+        assert y3_statistic(grid) == 4 + 2 + 2
+
+    def test_y_odd_side_rejected(self):
+        with pytest.raises(DimensionError):
+            y2_statistic(np.zeros((5, 5), dtype=int))
+
+    def test_y1_even_vs_odd_columns(self):
+        grid = np.ones((4, 4), dtype=int)
+        grid[0, 1] = 0  # even column: not counted
+        assert y1_statistic(grid) == 0
+        grid[0, 2] = 0  # odd column: counted
+        assert y1_statistic(grid) == 1
+
+
+class TestThresholds:
+    def test_f_threshold_value(self):
+        # f(alpha, N) = ceil(alpha/2 + alpha/(2 sqrt N)); alpha=32, N=64
+        assert f_threshold(32, 64) == 18
+        assert f_threshold(0, 64) == 0
+
+    def test_f_threshold_requires_square(self):
+        with pytest.raises(DimensionError):
+            f_threshold(3, 10)
+
+    def test_f_threshold_odd(self):
+        # ceil(alpha (N-1) / (2N)); alpha=13, N=25 -> ceil(13*24/50)=ceil(6.24)=7
+        assert f_threshold_odd(13, 25) == 7
+
+    def test_y_threshold(self):
+        assert y_threshold(7) == 4
+        assert y_threshold(8) == 4
+
+    def test_additional_steps_clip_at_zero(self):
+        assert theorem6_additional_steps(0, 32, 64) == 0
+        assert theorem9_additional_steps(0, 32) == 0
+        assert theorem13_additional_steps(0, 13, 25) == 0
+
+    def test_additional_steps_formula(self):
+        x = f_threshold(32, 64) + 5
+        assert theorem6_additional_steps(x, 32, 64) == 4 * (5 - 1)
+        assert theorem9_additional_steps(20, 32) == 4 * (20 - 16 - 1)

@@ -1,0 +1,76 @@
+"""Tests for column weights and the M statistic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.randomness import random_zero_one_grid
+from repro.zeroone.weights import (
+    column_weights,
+    column_zeros,
+    even_column_weights,
+    first_column_zeros,
+    m_statistic,
+    odd_column_zeros,
+)
+
+
+class TestColumnCounts:
+    def test_weights_plus_zeros_is_side(self, rng):
+        grid = random_zero_one_grid(6, rng=rng)
+        np.testing.assert_array_equal(column_weights(grid) + column_zeros(grid), 6)
+
+    def test_known_matrix(self):
+        grid = np.array([[0, 1], [0, 1]])
+        np.testing.assert_array_equal(column_weights(grid), [0, 2])
+        np.testing.assert_array_equal(column_zeros(grid), [2, 0])
+
+    def test_batched(self, rng):
+        grids = random_zero_one_grid(4, batch=3, rng=rng)
+        assert column_weights(grids).shape == (3, 4)
+
+    def test_odd_even_selectors(self):
+        grid = np.array(
+            [[0, 1, 0, 1], [0, 1, 0, 1], [0, 1, 1, 1], [1, 1, 1, 1]]
+        )
+        np.testing.assert_array_equal(odd_column_zeros(grid), [3, 2])
+        np.testing.assert_array_equal(even_column_weights(grid), [4, 4])
+
+    def test_first_column_zeros(self):
+        grid = np.array([[0, 1], [1, 1]])
+        assert first_column_zeros(grid) == 1
+
+
+class TestMStatistic:
+    def test_balanced_matrix(self):
+        # alternating columns: odd cols all zeros (weight 0), even all ones
+        side = 4
+        grid = np.tile(np.array([0, 1, 0, 1]), (side, 1))
+        # max odd-col zeros = 4, max even-col weight = 4, n = 2 -> M = 1
+        assert m_statistic(grid) == 1
+
+    def test_uniform_matrix(self):
+        side = 4
+        grid = np.zeros((side, side), dtype=int)
+        grid[2:, :] = 1  # top half zeros
+        # every column has 2 zeros / 2 ones; n = 2 -> M = 2 - 3 = -1
+        assert m_statistic(grid) == -1
+
+    def test_batched(self, rng):
+        grids = random_zero_one_grid(4, batch=5, rng=rng)
+        out = m_statistic(grids)
+        assert out.shape == (5,)
+        for i in range(5):
+            assert int(out[i]) == m_statistic(grids[i])
+
+    def test_odd_side_rejected(self, rng):
+        with pytest.raises(DimensionError):
+            m_statistic(random_zero_one_grid(5, rng=rng))
+
+    def test_corollary2_relation(self, rng):
+        """M >= Z1 - n - 1 (used throughout Section 2)."""
+        for _ in range(20):
+            grid = random_zero_one_grid(8, rng=rng)
+            assert m_statistic(grid) >= first_column_zeros(grid) - 4 - 1
