@@ -13,6 +13,7 @@ The executor is semantically identical to the pure-Python oracle in
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
@@ -31,6 +32,8 @@ from repro.core.schedule import (
     validate_schedule,
 )
 from repro.errors import DimensionError, StepLimitExceeded
+from repro.obs.context import resolve_observer
+from repro.obs.events import CycleEvent, Observer, RunEnd, RunStart, StepEvent
 
 __all__ = [
     "CompiledSchedule",
@@ -189,6 +192,7 @@ def run_until_sorted(
     *,
     max_steps: int | None = None,
     raise_on_cap: bool = False,
+    observer: Observer | None = None,
 ) -> SortOutcome:
     """Run a schedule until every grid in the batch reaches its target order.
 
@@ -203,6 +207,12 @@ def run_until_sorted(
     raise_on_cap:
         If True, raise :class:`StepLimitExceeded` when the cap is hit with
         unsorted grids; otherwise report ``steps == -1`` for those entries.
+    observer:
+        Optional :class:`~repro.obs.events.Observer`; falls back to the
+        ambient observer installed with :func:`repro.obs.use_observer`.
+        With no observer resolved the loop is the original uninstrumented
+        fast path; with one, each step additionally diffs the previous grid
+        to report an exact per-step swap count.
 
     Notes
     -----
@@ -223,15 +233,46 @@ def run_until_sorted(
     done = np.all(work == target, axis=(-2, -1))
     steps = np.where(done, 0, steps)
 
+    obs = resolve_observer(observer)
     t = 0
-    while t < max_steps and not np.all(done):
-        t += 1
-        compiled.apply_step(work, t)
-        now = np.all(work == target, axis=(-2, -1))
-        newly = now & ~done
-        if np.any(newly):
-            steps = np.where(newly, t, steps)
-            done = done | now
+    if obs is None:
+        while t < max_steps and not np.all(done):
+            t += 1
+            compiled.apply_step(work, t)
+            now = np.all(work == target, axis=(-2, -1))
+            newly = now & ~done
+            if np.any(newly):
+                steps = np.where(newly, t, steps)
+                done = done | now
+    else:
+        cycle_len = len(compiled)
+        obs.on_run_start(RunStart(
+            executor="engine",
+            algorithm=schedule.name,
+            side=side,
+            batch_shape=tuple(batch_shape),
+            max_steps=max_steps,
+            order=schedule.order,
+        ))
+        clock = time.perf_counter()
+        while t < max_steps and not np.all(done):
+            t += 1
+            before = work.copy()
+            compiled.apply_step(work, t)
+            swaps = int(np.count_nonzero(before != work)) // 2
+            obs.on_step(StepEvent(t=t, grid=work, swaps=swaps))
+            if t % cycle_len == 0:
+                obs.on_cycle(CycleEvent(cycle=t // cycle_len, t=t, grid=work))
+            now = np.all(work == target, axis=(-2, -1))
+            newly = now & ~done
+            if np.any(newly):
+                steps = np.where(newly, t, steps)
+                done = done | now
+        obs.on_run_end(RunEnd(
+            steps=np.asarray(steps),
+            completed=np.asarray(done),
+            wall_time=time.perf_counter() - clock,
+        ))
 
     completed = done if isinstance(done, np.ndarray) else np.asarray(done)
     if raise_on_cap and not np.all(completed):
@@ -250,12 +291,37 @@ def run_fixed_steps(
     num_steps: int,
     *,
     start_t: int = 1,
+    observer: Observer | None = None,
 ) -> np.ndarray:
     """Return a copy of ``grid`` after exactly ``num_steps`` schedule steps."""
     work = np.array(grid, copy=True)
     side = validate_grid(work)
     compiled = CompiledSchedule(schedule, side)
-    compiled.run(work, num_steps, start_t=start_t)
+    obs = resolve_observer(observer)
+    if obs is None:
+        compiled.run(work, num_steps, start_t=start_t)
+        return work
+
+    cycle_len = len(compiled)
+    obs.on_run_start(RunStart(
+        executor="engine",
+        algorithm=schedule.name,
+        side=side,
+        batch_shape=tuple(work.shape[:-2]),
+        max_steps=num_steps,
+        order=schedule.order,
+    ))
+    clock = time.perf_counter()
+    for t in range(start_t, start_t + num_steps):
+        before = work.copy()
+        compiled.apply_step(work, t)
+        swaps = int(np.count_nonzero(before != work)) // 2
+        obs.on_step(StepEvent(t=t, grid=work, swaps=swaps))
+        if t % cycle_len == 0:
+            obs.on_cycle(CycleEvent(cycle=t // cycle_len, t=t, grid=work))
+    obs.on_run_end(RunEnd(
+        steps=num_steps, completed=None, wall_time=time.perf_counter() - clock
+    ))
     return work
 
 
@@ -266,6 +332,7 @@ def iter_steps(
     *,
     start_t: int = 1,
     copy: bool = True,
+    observer: Observer | None = None,
 ) -> Iterator[tuple[int, np.ndarray]]:
     """Yield ``(t, grid_after_step_t)`` for ``num_steps`` consecutive steps.
 
@@ -273,10 +340,38 @@ def iter_steps(
     snapshot, suitable for building traces for the 0-1 trackers; with
     ``copy=False`` the same working buffer is yielded each time (cheaper when
     the consumer only reads per-step statistics).
+
+    An observer (explicit or ambient) receives the same event stream as
+    :func:`run_fixed_steps`; ``on_run_end`` fires only if the iterator is
+    exhausted.
     """
     work = np.array(grid, copy=True)
     side = validate_grid(work)
     compiled = CompiledSchedule(schedule, side)
+    obs = resolve_observer(observer)
+    if obs is not None:
+        obs.on_run_start(RunStart(
+            executor="engine",
+            algorithm=schedule.name,
+            side=side,
+            batch_shape=tuple(work.shape[:-2]),
+            max_steps=num_steps,
+            order=schedule.order,
+        ))
+    cycle_len = len(compiled)
+    clock = time.perf_counter()
     for t in range(start_t, start_t + num_steps):
-        compiled.apply_step(work, t)
+        if obs is None:
+            compiled.apply_step(work, t)
+        else:
+            before = work.copy()
+            compiled.apply_step(work, t)
+            swaps = int(np.count_nonzero(before != work)) // 2
+            obs.on_step(StepEvent(t=t, grid=work, swaps=swaps))
+            if t % cycle_len == 0:
+                obs.on_cycle(CycleEvent(cycle=t // cycle_len, t=t, grid=work))
         yield t, (work.copy() if copy else work)
+    if obs is not None:
+        obs.on_run_end(RunEnd(
+            steps=num_steps, completed=None, wall_time=time.perf_counter() - clock
+        ))

@@ -10,6 +10,7 @@ it on small meshes.
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 import numpy as np
@@ -18,6 +19,8 @@ from repro.core.algorithms import check_side
 from repro.core.orders import is_sorted_grid, target_grid
 from repro.core.schedule import Schedule, comparator_pairs, validate_schedule
 from repro.errors import DimensionError, StepLimitExceeded
+from repro.obs.context import resolve_observer
+from repro.obs.events import CycleEvent, Observer, RunEnd, RunStart, StepEvent
 
 __all__ = ["ReferenceMachine", "reference_sort"]
 
@@ -48,15 +51,22 @@ class ReferenceMachine:
             for step in schedule.steps
         ]
 
-    def step(self) -> None:
-        """Execute the next schedule step on the stored grid."""
+    def step(self) -> int:
+        """Execute the next schedule step on the stored grid.
+
+        Returns the number of swaps the step performed (observability
+        callers report it; others may ignore the return value).
+        """
         self.t += 1
         pairs = self._pairs_per_step[(self.t - 1) % len(self._pairs_per_step)]
         g = self.grid
+        swaps = 0
         for (lr, lc), (hr, hc) in pairs:
             a, b = g[lr][lc], g[hr][hc]
             if a > b:
                 g[lr][lc], g[hr][hc] = b, a
+                swaps += 1
+        return swaps
 
     def run(self, num_steps: int) -> None:
         for _ in range(num_steps):
@@ -74,19 +84,54 @@ def reference_sort(
     grid: np.ndarray | Sequence[Sequence[int]],
     *,
     max_steps: int,
+    observer: Observer | None = None,
 ) -> tuple[int, np.ndarray]:
     """Sort one grid to completion with the reference machine.
 
     Returns ``(t_f, final_grid)`` where ``t_f`` is the first step after which
     the grid equals the target layout (0 if already sorted).  Raises
-    :class:`StepLimitExceeded` if the cap is reached first.
+    :class:`StepLimitExceeded` if the cap is reached first.  An observer
+    (explicit or ambient) receives the standard event stream with per-step
+    swap counts; the oracle is already cell-by-cell, so instrumentation adds
+    no asymptotic cost here.
     """
     machine = ReferenceMachine(schedule, grid)
     target = target_grid(machine.as_array(), machine.side, schedule.order)
+    obs = resolve_observer(observer)
+    if obs is not None:
+        obs.on_run_start(RunStart(
+            executor="reference",
+            algorithm=schedule.name,
+            side=machine.side,
+            max_steps=max_steps,
+            order=schedule.order,
+        ))
+    clock = time.perf_counter()
+    cycle_len = len(schedule.steps)
+
+    def finish(t_f: int) -> tuple[int, np.ndarray]:
+        final = machine.as_array()
+        if obs is not None:
+            obs.on_run_end(RunEnd(
+                steps=t_f, completed=True,
+                wall_time=time.perf_counter() - clock,
+            ))
+        return t_f, final
+
     if np.array_equal(machine.as_array(), target):
-        return 0, machine.as_array()
+        return finish(0)
     for t in range(1, max_steps + 1):
-        machine.step()
+        swaps = machine.step()
+        if obs is not None:
+            obs.on_step(StepEvent(t=t, grid=machine.as_array(), swaps=swaps))
+            if t % cycle_len == 0:
+                obs.on_cycle(CycleEvent(
+                    cycle=t // cycle_len, t=t, grid=machine.as_array()
+                ))
         if np.array_equal(machine.as_array(), target):
-            return t, machine.as_array()
+            return finish(t)
+    if obs is not None:
+        obs.on_run_end(RunEnd(
+            steps=-1, completed=False, wall_time=time.perf_counter() - clock
+        ))
     raise StepLimitExceeded(max_steps, 1)

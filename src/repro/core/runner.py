@@ -33,6 +33,7 @@ from repro.core.orders import validate_grid
 from repro.core.reference import reference_sort
 from repro.core.schedule import Schedule
 from repro.errors import DimensionError
+from repro.obs.events import Observer
 
 __all__ = ["sort_grid", "sort_steps", "SortReport", "describe_algorithm", "resolve_algorithm"]
 
@@ -78,6 +79,7 @@ def sort_grid(
     max_steps: int | None = None,
     engine: str = "numpy",
     raise_on_cap: bool = False,
+    observer: Observer | None = None,
 ) -> SortReport:
     """Sort a (possibly batched) grid to completion.
 
@@ -95,19 +97,24 @@ def sort_grid(
     raise_on_cap:
         Raise :class:`~repro.errors.StepLimitExceeded` instead of reporting
         ``steps == -1`` entries.
+    observer:
+        Optional :class:`~repro.obs.events.Observer` forwarded to the
+        selected executor (ambient observers installed with
+        :func:`repro.obs.use_observer` apply without this argument).
     """
     schedule = _resolve(algorithm)
     side = validate_grid(grid)
     if engine == "numpy":
         outcome = run_until_sorted(
-            schedule, grid, max_steps=max_steps, raise_on_cap=raise_on_cap
+            schedule, grid, max_steps=max_steps, raise_on_cap=raise_on_cap,
+            observer=observer,
         )
     elif engine == "reference":
         arr = np.asarray(grid)
         if arr.ndim != 2:
             raise DimensionError("the reference engine accepts a single grid only")
         cap = max_steps if max_steps is not None else default_step_cap(side)
-        t_f, final = reference_sort(schedule, arr, max_steps=cap)
+        t_f, final = reference_sort(schedule, arr, max_steps=cap, observer=observer)
         outcome = SortOutcome(
             steps=np.asarray(t_f, dtype=np.int64),
             completed=np.asarray(True),

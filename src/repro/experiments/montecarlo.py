@@ -17,6 +17,7 @@ from repro.core.engine import default_step_cap, run_fixed_steps, run_until_sorte
 from repro.core.runner import resolve_algorithm
 from repro.core.schedule import Schedule
 from repro.errors import StepLimitExceeded
+from repro.obs.events import Observer
 from repro.randomness import SeedLike, as_generator, random_permutation_grid, random_zero_one_grid
 
 __all__ = ["TrialStats", "summarize", "sample_sort_steps", "sample_statistic_after_steps"]
@@ -73,6 +74,7 @@ def sample_sort_steps(
     max_steps: int | None = None,
     input_kind: str = "permutation",
     batch_size: int | None = None,
+    observer: Observer | None = None,
 ) -> np.ndarray:
     """Step counts over ``trials`` random inputs (batched execution).
 
@@ -98,7 +100,8 @@ def sample_sort_steps(
         else:
             raise ValueError(f"unknown input_kind {input_kind!r}")
         outcome = run_until_sorted(
-            resolve_algorithm(algorithm), grids, max_steps=max_steps
+            resolve_algorithm(algorithm), grids, max_steps=max_steps,
+            observer=observer,
         )
         if not outcome.all_completed:
             raise StepLimitExceeded(max_steps, int(np.sum(~outcome.completed)))
@@ -117,6 +120,7 @@ def sample_statistic_after_steps(
     seed: SeedLike = 0,
     input_kind: str = "zero_one",
     batch_size: int | None = None,
+    observer: Observer | None = None,
 ) -> np.ndarray:
     """Sample ``statistic(grid_after_num_steps)`` over random inputs.
 
@@ -138,7 +142,7 @@ def sample_statistic_after_steps(
             grids = random_zero_one_grid(side, batch=batch, rng=rng)
         else:
             raise ValueError(f"unknown input_kind {input_kind!r}")
-        after = run_fixed_steps(schedule, grids, num_steps)
+        after = run_fixed_steps(schedule, grids, num_steps, observer=observer)
         chunks.append(np.asarray(statistic(after)))
         done += batch
     return np.concatenate([np.atleast_1d(c) for c in chunks])

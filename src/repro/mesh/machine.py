@@ -19,6 +19,7 @@ cross-validation tests.
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -30,6 +31,8 @@ from repro.core.orders import is_sorted_grid, target_grid
 from repro.core.schedule import Schedule, comparator_pairs, validate_schedule
 from repro.errors import DimensionError, MissingWireError, StepLimitExceeded
 from repro.mesh.topology import Cell, MeshTopology
+from repro.obs.context import resolve_observer
+from repro.obs.events import CycleEvent, Observer, RunEnd, RunStart, StepEvent
 
 __all__ = ["LinkStats", "MeshMachine", "mesh_sort"]
 
@@ -60,6 +63,7 @@ class MeshMachine:
         grid: np.ndarray | Sequence[Sequence[int]],
         *,
         topology: MeshTopology | None = None,
+        observer: Observer | None = None,
     ):
         values = np.array(grid, copy=True)
         if values.ndim != 2 or values.shape[0] != values.shape[1]:
@@ -83,6 +87,9 @@ class MeshMachine:
         }
         self.t = 0
         self.stats = LinkStats()
+        # Resolved once at construction: explicit argument beats the ambient
+        # context observer; None keeps step() on the uninstrumented path.
+        self.observer = resolve_observer(observer)
         self._pairs_per_step = [
             [pair for op in step for pair in comparator_pairs(op, self.side)]
             for step in schedule.steps
@@ -103,6 +110,7 @@ class MeshMachine:
         self.t += 1
         pairs = self._pairs_per_step[(self.t - 1) % len(self._pairs_per_step)]
         mem = self.memory
+        swaps = 0
         for low, high in pairs:
             edge = (low, high) if low <= high else (high, low)
             self.stats.comparisons[edge] += 1
@@ -110,6 +118,19 @@ class MeshMachine:
             if a > b:
                 mem[low], mem[high] = b, a
                 self.stats.swaps[edge] += 1
+                swaps += 1
+        obs = self.observer
+        if obs is not None:
+            # Dispatched only after every exchange of the step has landed,
+            # so a raising observer cannot leave the memories half-stepped.
+            obs.on_step(StepEvent(
+                t=self.t, grid=None, swaps=swaps, comparisons=len(pairs)
+            ))
+            cycle_len = len(self._pairs_per_step)
+            if self.t % cycle_len == 0:
+                obs.on_cycle(CycleEvent(
+                    cycle=self.t // cycle_len, t=self.t, grid=self.as_array()
+                ))
 
     def run(self, num_steps: int) -> None:
         for _ in range(num_steps):
@@ -131,19 +152,44 @@ def mesh_sort(
     *,
     max_steps: int,
     topology: MeshTopology | None = None,
+    observer: Observer | None = None,
 ) -> tuple[int, MeshMachine]:
     """Sort one grid to completion on the processor-level machine.
 
     Returns ``(t_f, machine)``; the machine exposes the final memories and
     the per-wire traffic statistics.  Raises
-    :class:`~repro.errors.StepLimitExceeded` if the cap is hit.
+    :class:`~repro.errors.StepLimitExceeded` if the cap is hit.  The machine
+    dispatches per-step events itself; this wrapper adds the run start/end
+    envelope around them.
     """
-    machine = MeshMachine(schedule, grid, topology=topology)
+    machine = MeshMachine(schedule, grid, topology=topology, observer=observer)
+    obs = machine.observer
+    if obs is not None:
+        obs.on_run_start(RunStart(
+            executor="mesh",
+            algorithm=schedule.name,
+            side=machine.side,
+            max_steps=max_steps,
+            order=schedule.order,
+        ))
+    clock = time.perf_counter()
+
+    def finish(t_f: int, completed: bool) -> None:
+        if obs is not None:
+            obs.on_run_end(RunEnd(
+                steps=t_f if completed else -1,
+                completed=completed,
+                wall_time=time.perf_counter() - clock,
+            ))
+
     target = target_grid(machine.as_array(), machine.side, schedule.order)
     if np.array_equal(machine.as_array(), target):
+        finish(0, True)
         return 0, machine
     for t in range(1, max_steps + 1):
         machine.step()
         if np.array_equal(machine.as_array(), target):
+            finish(t, True)
             return t, machine
+    finish(-1, False)
     raise StepLimitExceeded(max_steps, 1)

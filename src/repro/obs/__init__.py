@@ -1,0 +1,97 @@
+"""repro.obs — structured tracing, metrics, and run manifests.
+
+The observability subsystem shared by all three executors (vectorized
+engine, reference oracle, mesh machine) and the Monte-Carlo harness:
+
+* :mod:`repro.obs.events` — the :class:`Observer` hook protocol and event
+  dataclasses (``RunStart``/``StepEvent``/``CycleEvent``/``RunEnd``);
+* :mod:`repro.obs.context` — ambient observer installation
+  (:func:`use_observer`) so deep call stacks need no plumbing;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms/timers with JSON
+  and Prometheus-text exporters;
+* :mod:`repro.obs.trace` — JSONL trace sinks with grid digests;
+* :mod:`repro.obs.manifest` — replayable run manifests;
+* :mod:`repro.obs.timing` — stopwatch/phase-timer helpers for the CLI;
+* :mod:`repro.obs.progress` — throttled progress printing.
+
+Overhead guarantee: with no observer attached (no argument, no ambient
+context), every executor runs its original uninstrumented loop — dispatch is
+guarded per run, not per cell.  See docs/OBSERVABILITY.md.
+"""
+
+from repro.obs.context import get_active_observer, resolve_observer, use_observer
+from repro.obs.events import (
+    CompositeObserver,
+    CycleEvent,
+    Observer,
+    RecordingObserver,
+    RunEnd,
+    RunStart,
+    StepEvent,
+)
+from repro.obs.manifest import (
+    RunManifest,
+    load_manifest,
+    replay_command,
+    table_digest,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsObserver,
+    MetricsRegistry,
+    PotentialObserver,
+    Timer,
+    record_link_stats,
+)
+from repro.obs.progress import ProgressPrinter
+from repro.obs.timing import PhaseTimer, StopWatch, format_seconds
+from repro.obs.trace import (
+    JsonlTraceSink,
+    grid_digest,
+    read_trace,
+    validate_trace_events,
+)
+
+__all__ = [
+    # events
+    "Observer",
+    "RunStart",
+    "StepEvent",
+    "CycleEvent",
+    "RunEnd",
+    "CompositeObserver",
+    "RecordingObserver",
+    # context
+    "use_observer",
+    "get_active_observer",
+    "resolve_observer",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "MetricsObserver",
+    "PotentialObserver",
+    "record_link_stats",
+    # timing
+    "StopWatch",
+    "PhaseTimer",
+    "format_seconds",
+    # trace
+    "JsonlTraceSink",
+    "grid_digest",
+    "read_trace",
+    "validate_trace_events",
+    # manifest
+    "RunManifest",
+    "write_manifest",
+    "load_manifest",
+    "replay_command",
+    "table_digest",
+    # progress
+    "ProgressPrinter",
+]

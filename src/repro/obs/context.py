@@ -1,0 +1,54 @@
+"""Ambient (context-scoped) observer installation.
+
+Experiments call deep into the executors through several layers
+(``registry -> experiment -> montecarlo -> engine``), and threading an
+``observer=`` argument through every experiment signature would couple all
+of them to observability.  Instead the CLI (and any caller) can install an
+observer for a dynamic extent::
+
+    with use_observer(sink):
+        run_experiment("E-T2", cfg)   # every executor run inside is traced
+
+Executors resolve their effective observer with :func:`resolve_observer`:
+an explicit ``observer=`` argument wins, otherwise the innermost active
+context observer is used, otherwise ``None`` (uninstrumented fast path).
+
+The stack is a :class:`contextvars.ContextVar`, so concurrent threads and
+asyncio tasks each see their own installation.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.events import Observer
+
+__all__ = ["use_observer", "get_active_observer", "resolve_observer"]
+
+_ACTIVE: ContextVar[tuple["Observer", ...]] = ContextVar("repro_obs_active", default=())
+
+
+@contextmanager
+def use_observer(observer: "Observer") -> Iterator["Observer"]:
+    """Install ``observer`` as the ambient observer for the ``with`` body."""
+    token = _ACTIVE.set(_ACTIVE.get() + (observer,))
+    try:
+        yield observer
+    finally:
+        _ACTIVE.reset(token)
+
+
+def get_active_observer() -> Optional["Observer"]:
+    """The innermost ambient observer, or ``None``."""
+    stack = _ACTIVE.get()
+    return stack[-1] if stack else None
+
+
+def resolve_observer(observer: Optional["Observer"]) -> Optional["Observer"]:
+    """Effective observer for an executor run: explicit beats ambient."""
+    if observer is not None:
+        return observer
+    return get_active_observer()

@@ -1,0 +1,182 @@
+"""Event model of the observability subsystem.
+
+Every executor in the package — the vectorized engine
+(:mod:`repro.core.engine`), the pure-Python oracle
+(:mod:`repro.core.reference`), the processor-level
+:class:`~repro.mesh.machine.MeshMachine`, and the diagnostics runner — can
+dispatch the same four lifecycle events to an :class:`Observer`:
+
+``on_run_start``
+    Once per run, before the first step, with the run's static facts
+    (executor, algorithm, side, batch shape, step cap).
+``on_step``
+    Once per executed schedule step, after the step's comparators have
+    fired.  Carries the 1-based step time, a *read-only view* of the live
+    working grid, and (when the executor can account them cheaply) the
+    number of swaps and comparisons that step performed.
+``on_cycle``
+    Once per completed schedule cycle (every ``len(schedule.steps)`` steps),
+    optionally carrying derived per-cycle statistics in ``info``.
+``on_run_end``
+    Once per run with the outcome: step counts, completion, wall time.
+
+Observers must treat event grids as immutable; executors pass their live
+working buffers to avoid copies on the hot path.  Dispatch is guarded at
+the run level — an executor given no observer runs its original uninstrumented
+loop, which is the package's zero-overhead-when-disabled guarantee (see
+docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "RunStart",
+    "StepEvent",
+    "CycleEvent",
+    "RunEnd",
+    "Observer",
+    "CompositeObserver",
+    "RecordingObserver",
+]
+
+
+@dataclass(frozen=True)
+class RunStart:
+    """Static facts of a run, dispatched before the first step."""
+
+    executor: str
+    algorithm: str
+    side: int
+    batch_shape: tuple[int, ...] = ()
+    max_steps: int | None = None
+    order: str = ""
+
+
+@dataclass(frozen=True)
+class StepEvent:
+    """One executed schedule step.
+
+    ``grid`` is the executor's live working buffer (or ``None`` for
+    executors that do not expose one); observers must not mutate it.
+    ``swaps``/``comparisons`` are per-step tallies when the executor tracks
+    them (the mesh machine and the instrumented engine do), else ``None``.
+    """
+
+    t: int
+    grid: np.ndarray | None = None
+    swaps: int | None = None
+    comparisons: int | None = None
+
+
+@dataclass(frozen=True)
+class CycleEvent:
+    """End of one full schedule cycle (``cycle`` is 1-based)."""
+
+    cycle: int
+    t: int
+    grid: np.ndarray | None = None
+    info: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class RunEnd:
+    """Outcome of a run.
+
+    ``steps`` mirrors :attr:`repro.core.engine.SortOutcome.steps` for
+    sort-to-completion runs (batch-shaped; -1 where the cap was hit) and is
+    the executed step count for fixed-step runs.
+    """
+
+    steps: Any = None
+    completed: Any = None
+    wall_time: float = 0.0
+
+
+class Observer:
+    """Base observer: all hooks are no-ops; subclass and override.
+
+    Executors duck-type against this interface, so any object with the four
+    ``on_*`` methods works; subclassing just spares you the boilerplate.
+    """
+
+    def on_run_start(self, event: RunStart) -> None:  # pragma: no cover - no-op
+        pass
+
+    def on_step(self, event: StepEvent) -> None:  # pragma: no cover - no-op
+        pass
+
+    def on_cycle(self, event: CycleEvent) -> None:  # pragma: no cover - no-op
+        pass
+
+    def on_run_end(self, event: RunEnd) -> None:  # pragma: no cover - no-op
+        pass
+
+
+class CompositeObserver(Observer):
+    """Fan one event stream out to several observers, in order."""
+
+    def __init__(self, observers: list[Observer] | tuple[Observer, ...]):
+        self.observers = list(observers)
+
+    def on_run_start(self, event: RunStart) -> None:
+        for obs in self.observers:
+            obs.on_run_start(event)
+
+    def on_step(self, event: StepEvent) -> None:
+        for obs in self.observers:
+            obs.on_step(event)
+
+    def on_cycle(self, event: CycleEvent) -> None:
+        for obs in self.observers:
+            obs.on_cycle(event)
+
+    def on_run_end(self, event: RunEnd) -> None:
+        for obs in self.observers:
+            obs.on_run_end(event)
+
+
+class RecordingObserver(Observer):
+    """Keep every event in memory — the test-suite workhorse.
+
+    Grids attached to step/cycle events are live buffers, so they are
+    snapshotted (copied) on receipt when ``copy_grids`` is true.
+    """
+
+    def __init__(self, *, copy_grids: bool = False):
+        self.copy_grids = copy_grids
+        self.run_starts: list[RunStart] = []
+        self.steps: list[StepEvent] = []
+        self.cycles: list[CycleEvent] = []
+        self.run_ends: list[RunEnd] = []
+
+    def on_run_start(self, event: RunStart) -> None:
+        self.run_starts.append(event)
+
+    def on_step(self, event: StepEvent) -> None:
+        if self.copy_grids and event.grid is not None:
+            event = StepEvent(
+                t=event.t,
+                grid=event.grid.copy(),
+                swaps=event.swaps,
+                comparisons=event.comparisons,
+            )
+        self.steps.append(event)
+
+    def on_cycle(self, event: CycleEvent) -> None:
+        if self.copy_grids and event.grid is not None:
+            event = CycleEvent(
+                cycle=event.cycle, t=event.t, grid=event.grid.copy(), info=event.info
+            )
+        self.cycles.append(event)
+
+    def on_run_end(self, event: RunEnd) -> None:
+        self.run_ends.append(event)
+
+    @property
+    def step_times(self) -> list[int]:
+        return [ev.t for ev in self.steps]

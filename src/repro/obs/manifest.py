@@ -1,0 +1,102 @@
+"""Run manifests: enough recorded configuration to replay any result.
+
+A :class:`RunManifest` pins down everything that determines an experiment's
+output — the experiment id, root seed, scale, package version, and the exact
+CLI argv — plus a digest of the produced table.  Because every run in this
+package is deterministic given (seed, scale), replaying the manifest's
+:func:`replay_command` must reproduce the digest bit-for-bit; the test suite
+asserts this round trip.
+
+Manifests are written next to trace files by ``python -m repro.experiments
+--trace DIR`` so every table under ``results/`` can name the manifest that
+produced it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from dataclasses import asdict, dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+from repro._version import __version__
+from repro.errors import DimensionError
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "RunManifest",
+    "table_digest",
+    "write_manifest",
+    "load_manifest",
+    "replay_command",
+]
+
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def table_digest(table) -> str:
+    """Stable digest of a result table's rendered text."""
+    return hashlib.blake2b(table.to_text().encode(), digest_size=8).hexdigest()
+
+
+@dataclass
+class RunManifest:
+    """Reproducibility record of one experiment (or raw executor) run."""
+
+    kind: str  # "experiment" | "run"
+    exp_id: str = ""
+    algorithm: str = ""
+    seed: int | None = None
+    scale: str = ""
+    side: int | None = None
+    elapsed_seconds: float | None = None
+    result_digest: str = ""
+    argv: list[str] = field(default_factory=list)
+    python: str = ""
+    package_version: str = __version__
+    schema_version: int = MANIFEST_SCHEMA_VERSION
+    created: str = ""
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("experiment", "run"):
+            raise DimensionError(
+                f"manifest kind must be 'experiment' or 'run', got {self.kind!r}"
+            )
+        if not self.created:
+            self.created = datetime.now(timezone.utc).isoformat(timespec="seconds")
+        if not self.python:
+            self.python = sys.version.split()[0]
+
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+def write_manifest(path: str | Path, manifest: RunManifest) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(manifest.as_dict(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_manifest(path: str | Path) -> RunManifest:
+    data = json.loads(Path(path).read_text())
+    version = data.get("schema_version")
+    if version != MANIFEST_SCHEMA_VERSION:
+        raise DimensionError(f"unsupported manifest schema version {version!r}")
+    return RunManifest(**data)
+
+
+def replay_command(manifest: RunManifest) -> str:
+    """The CLI invocation that reproduces the manifest's result digest."""
+    if manifest.kind != "experiment" or not manifest.exp_id:
+        raise DimensionError("replay_command needs an experiment manifest")
+    parts = ["python", "-m", "repro.experiments", manifest.exp_id]
+    if manifest.scale:
+        parts += ["--scale", manifest.scale]
+    if manifest.seed is not None:
+        parts += ["--seed", str(manifest.seed)]
+    return " ".join(parts)

@@ -1,0 +1,431 @@
+"""Metrics registry: counters, gauges, histograms, timers, and exporters.
+
+A :class:`MetricsRegistry` is a named collection of instruments.  The
+instruments follow the Prometheus data model closely enough that
+:meth:`MetricsRegistry.to_prometheus_text` emits valid exposition-format
+text, while :meth:`MetricsRegistry.to_json` keeps the full structured state
+(including histogram extrema) for offline analysis.
+
+Two observers bridge the event stream into a registry:
+
+* :class:`MetricsObserver` tallies runs, steps, per-step swap/comparison
+  counts, and kernel wall-time;
+* :class:`PotentialObserver` records the paper's potential trajectories
+  (M for the row-major family, Z1/Y1 for the snakes) per cycle.
+
+:func:`record_link_stats` folds a mesh machine's per-wire
+:class:`~repro.mesh.machine.LinkStats` into a registry after a run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from bisect import bisect_left
+from pathlib import Path
+from typing import Any
+
+from repro.errors import DimensionError
+from repro.obs.events import CycleEvent, Observer, RunEnd, RunStart, StepEvent
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "MetricsObserver",
+    "PotentialObserver",
+    "record_link_stats",
+]
+
+# Default histogram buckets: step/swap-count scales for meshes up to ~64x64.
+DEFAULT_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000)
+
+
+def _check_name(name: str) -> str:
+    if not name or any(ch for ch in name if not (ch.isalnum() or ch in "_:")):
+        raise DimensionError(
+            f"metric names must be nonempty [A-Za-z0-9_:] strings, got {name!r}"
+        )
+    return name
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = _check_name(name)
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise DimensionError(f"counter {self.name} cannot decrease (got {amount})")
+        self.value += amount
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "help": self.help, "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = _check_name(name)
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "help": self.help, "value": self.value}
+
+
+class Histogram:
+    """Cumulative-bucket histogram with count/sum/min/max."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "", buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+        self.name = _check_name(name)
+        self.help = help
+        if not buckets or list(buckets) != sorted(buckets):
+            raise DimensionError(f"histogram {name} needs sorted, nonempty buckets")
+        self.buckets = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * len(self.buckets)  # non-cumulative, per bucket
+        self.overflow = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = bisect_left(self.buckets, value)
+        if idx < len(self.buckets):
+            self.bucket_counts[idx] += 1
+        else:
+            self.overflow += 1
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative_counts(self) -> list[int]:
+        """Prometheus-style cumulative counts per upper bound (excl. +Inf)."""
+        out, running = [], 0
+        for c in self.bucket_counts:
+            running += c
+            out.append(running)
+        return out
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {str(b): c for b, c in zip(self.buckets, self.cumulative_counts())},
+        }
+
+
+class Timer:
+    """Wall-time instrument: a histogram of seconds plus a running total.
+
+    Usable as a context manager::
+
+        with registry.timer("phase_seconds").time():
+            run_phase()
+    """
+
+    kind = "timer"
+
+    # Sub-second to minutes-scale latency buckets.
+    TIME_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0)
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = _check_name(name)
+        self.help = help
+        self.histogram = Histogram(name, help, buckets=self.TIME_BUCKETS)
+
+    def observe(self, seconds: float) -> None:
+        if seconds < 0:
+            raise DimensionError(f"timer {self.name} got negative duration {seconds}")
+        self.histogram.observe(seconds)
+
+    def time(self) -> "_TimerContext":
+        return _TimerContext(self)
+
+    @property
+    def total(self) -> float:
+        return self.histogram.sum
+
+    @property
+    def count(self) -> int:
+        return self.histogram.count
+
+    def as_dict(self) -> dict[str, Any]:
+        d = self.histogram.as_dict()
+        d["kind"] = self.kind
+        return d
+
+
+class _TimerContext:
+    def __init__(self, timer: Timer):
+        self.timer = timer
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        self.timer.observe(self.elapsed)
+
+
+class MetricsRegistry:
+    """A named collection of instruments with idempotent registration."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram | Timer] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise DimensionError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def timer(self, name: str, help: str = "") -> Timer:
+        return self._get_or_create(Timer, name, help)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __getitem__(self, name: str) -> Counter | Gauge | Histogram | Timer:
+        return self._metrics[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {name: self._metrics[name].as_dict() for name in self.names()}
+
+    def to_json(self, path: str | Path | None = None, *, indent: int = 2) -> str:
+        """Serialize the registry; also write it to ``path`` when given."""
+        text = json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+        if path is not None:
+            path = Path(path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text + "\n")
+        return text
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus exposition format (text version 0.0.4)."""
+        lines: list[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            if isinstance(metric, (Counter, Gauge)):
+                lines.append(f"# TYPE {name} {metric.kind}")
+                lines.append(f"{name} {_fmt_value(metric.value)}")
+            else:
+                hist = metric.histogram if isinstance(metric, Timer) else metric
+                lines.append(f"# TYPE {name} histogram")
+                for bound, cum in zip(hist.buckets, hist.cumulative_counts()):
+                    lines.append(f'{name}_bucket{{le="{_fmt_value(bound)}"}} {cum}')
+                lines.append(f'{name}_bucket{{le="+Inf"}} {hist.count}')
+                lines.append(f"{name}_sum {_fmt_value(hist.sum)}")
+                lines.append(f"{name}_count {hist.count}")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt_value(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else repr(float(value))
+
+
+class MetricsObserver(Observer):
+    """Tally run/step/swap/wall-time metrics from the event stream.
+
+    Metric names (all prefixed ``repro_``): ``repro_runs_total``,
+    ``repro_steps_total``, ``repro_swaps_total``,
+    ``repro_comparisons_total``, ``repro_step_swaps`` (histogram),
+    ``repro_run_steps`` (histogram), ``repro_run_seconds`` (timer).
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._runs = reg.counter("repro_runs_total", "executor runs observed")
+        self._steps = reg.counter("repro_steps_total", "schedule steps executed")
+        self._swaps = reg.counter("repro_swaps_total", "comparator swaps performed")
+        self._comparisons = reg.counter(
+            "repro_comparisons_total", "comparator firings performed"
+        )
+        self._step_swaps = reg.histogram(
+            "repro_step_swaps", "swaps per schedule step"
+        )
+        self._run_steps = reg.histogram(
+            "repro_run_steps", "steps per completed run"
+        )
+        self._run_seconds = reg.timer(
+            "repro_run_seconds", "kernel wall-time per run"
+        )
+
+    def on_run_start(self, event: RunStart) -> None:
+        self._runs.inc()
+
+    def on_step(self, event: StepEvent) -> None:
+        self._steps.inc()
+        if event.swaps is not None:
+            self._swaps.inc(event.swaps)
+            self._step_swaps.observe(event.swaps)
+        if event.comparisons is not None:
+            self._comparisons.inc(event.comparisons)
+
+    def on_run_end(self, event: RunEnd) -> None:
+        self._run_seconds.observe(max(0.0, event.wall_time))
+        steps = event.steps
+        if steps is None:
+            return
+        # Accept scalars, 0-d arrays, and batch arrays alike.
+        try:
+            flat = [int(v) for v in _iter_steps_values(steps)]
+        except (TypeError, ValueError):
+            return
+        for v in flat:
+            if v >= 0:
+                self._run_steps.observe(v)
+
+
+def _iter_steps_values(steps: Any):
+    import numpy as np
+
+    arr = np.asarray(steps)
+    return arr.reshape(-1).tolist()
+
+
+class PotentialObserver(Observer):
+    """Record the paper's potential trajectory once per cycle.
+
+    The potential is chosen the way the diagnostics module does: the M
+    surplus statistic for row-major-order schedules, Y1 for ``snake_2``,
+    Z1 otherwise.  The trajectory is available as ``trajectory`` (a list of
+    ``(t, value)`` pairs) and, when a registry is given, as the
+    ``repro_potential`` gauge plus the ``repro_cycle_potential`` histogram.
+
+    Only meaningful for unbatched runs (a batch has no single potential);
+    batched cycle events are ignored.
+    """
+
+    def __init__(
+        self,
+        algorithm: str = "",
+        order: str = "",
+        registry: MetricsRegistry | None = None,
+    ):
+        self.algorithm = algorithm
+        self.order = order
+        self.registry = registry
+        self.trajectory: list[tuple[int, int]] = []
+        if registry is not None:
+            self._gauge = registry.gauge("repro_potential", "current cycle potential")
+            self._hist = registry.histogram(
+                "repro_cycle_potential", "potential observed at cycle ends"
+            )
+
+    def on_run_start(self, event: RunStart) -> None:
+        # Pick up the schedule identity from the run when not preset.
+        if not self.algorithm:
+            self.algorithm = event.algorithm
+        if not self.order:
+            self.order = event.order
+
+    def _potential(self, grid) -> int | None:
+        # zeroone imports are deferred: obs must stay importable from the
+        # executors without creating an import cycle through diagnostics.
+        from repro.zeroone.threshold import threshold_matrix
+        from repro.zeroone.trackers import y1_statistic, z1_statistic
+        from repro.zeroone.weights import m_statistic
+
+        if grid is None or grid.ndim != 2:
+            return None
+        grid01 = threshold_matrix(grid)
+        if self.order == "row_major":
+            return int(m_statistic(grid01))
+        if self.algorithm == "snake_2":
+            return int(y1_statistic(grid01))
+        return int(z1_statistic(grid01))
+
+    def on_cycle(self, event: CycleEvent) -> None:
+        value = event.info.get("potential")
+        if value is None:
+            value = self._potential(event.grid)
+        if value is None:
+            return
+        self.trajectory.append((event.t, int(value)))
+        if self.registry is not None:
+            self._gauge.set(value)
+            self._hist.observe(value)
+
+
+def record_link_stats(registry: MetricsRegistry, stats, *, top_k: int = 5) -> None:
+    """Fold a :class:`~repro.mesh.machine.LinkStats` into ``registry``.
+
+    Adds ``repro_wire_comparisons_total`` / ``repro_wire_swaps_total``
+    counters, a ``repro_wire_traffic`` histogram (comparisons per wire),
+    and a ``repro_busiest_wire_comparisons`` gauge for the hottest wire.
+    """
+    registry.counter(
+        "repro_wire_comparisons_total", "comparator firings over all wires"
+    ).inc(stats.total_comparisons())
+    registry.counter(
+        "repro_wire_swaps_total", "swaps over all wires"
+    ).inc(stats.total_swaps())
+    traffic = registry.histogram(
+        "repro_wire_traffic", "comparator firings per individual wire"
+    )
+    for _, count in stats.comparisons.items():
+        traffic.observe(count)
+    busiest = stats.busiest_links(top_k)
+    if busiest:
+        registry.gauge(
+            "repro_busiest_wire_comparisons", "firings on the busiest wire"
+        ).set(busiest[0][1])

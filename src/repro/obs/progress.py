@@ -1,0 +1,73 @@
+"""Lightweight progress reporting for long CLI runs.
+
+:class:`ProgressPrinter` is an observer that prints one line when a run
+starts and one when it ends (with step count and wall time), throttled so
+batched Monte-Carlo sweeps — hundreds of runs per experiment — do not flood
+the terminal: after the first ``verbose_runs`` runs it only reports every
+``every``-th run plus a final tally via :meth:`summary`.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TextIO
+
+import numpy as np
+
+from repro.obs.events import Observer, RunEnd, RunStart
+from repro.obs.timing import format_seconds
+
+__all__ = ["ProgressPrinter"]
+
+
+class ProgressPrinter(Observer):
+    def __init__(
+        self,
+        stream: TextIO | None = None,
+        *,
+        every: int = 25,
+        verbose_runs: int = 3,
+        prefix: str = "  ",
+    ):
+        self.stream = stream if stream is not None else sys.stderr
+        self.every = max(1, every)
+        self.verbose_runs = verbose_runs
+        self.prefix = prefix
+        self.runs_started = 0
+        self.runs_finished = 0
+        self.steps_total = 0
+        self._current: RunStart | None = None
+
+    def _say(self, message: str) -> None:
+        print(f"{self.prefix}{message}", file=self.stream, flush=True)
+
+    def on_run_start(self, event: RunStart) -> None:
+        self.runs_started += 1
+        self._current = event
+        if self.runs_started <= self.verbose_runs:
+            batch = (
+                f" x{int(np.prod(event.batch_shape))}" if event.batch_shape else ""
+            )
+            self._say(
+                f"run {self.runs_started}: {event.executor} {event.algorithm} "
+                f"side={event.side}{batch}"
+            )
+
+    def on_run_end(self, event: RunEnd) -> None:
+        self.runs_finished += 1
+        if event.steps is not None:
+            arr = np.asarray(event.steps).reshape(-1)
+            self.steps_total += int(arr[arr >= 0].sum())
+        if (
+            self.runs_finished <= self.verbose_runs
+            or self.runs_finished % self.every == 0
+        ):
+            self._say(
+                f"run {self.runs_finished} done in {format_seconds(event.wall_time)} "
+                f"({self.steps_total} steps observed so far)"
+            )
+
+    def summary(self) -> str:
+        return (
+            f"{self.runs_finished} runs, {self.steps_total} steps observed"
+        )

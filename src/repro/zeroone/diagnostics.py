@@ -11,6 +11,7 @@ holding the minimum.  :func:`run_diagnostics` produces the trace;
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,6 +21,8 @@ from repro.core.orders import linearize, target_grid, validate_grid
 from repro.core.runner import resolve_algorithm
 from repro.core.schedule import Schedule
 from repro.errors import DimensionError
+from repro.obs.context import resolve_observer
+from repro.obs.events import CycleEvent, Observer, RunEnd, RunStart, StepEvent
 from repro.zeroone.smallest import min_cell
 from repro.zeroone.threshold import threshold_matrix
 from repro.zeroone.trackers import y1_statistic, z1_statistic
@@ -88,12 +91,19 @@ def run_diagnostics(
     grid: np.ndarray,
     *,
     max_steps: int | None = None,
+    observer: Observer | None = None,
 ) -> list[CycleRecord]:
     """Run to completion, recording a :class:`CycleRecord` per cycle.
 
     The final record is taken at the (cycle-aligned) step where the grid
     first matches the target; raises implicitly by returning a trace whose
     last record has ``sorted=False`` if the cap was hit.
+
+    An observer (explicit or ambient) sees one ``on_step`` per executed
+    step and one ``on_cycle`` per cycle whose ``info`` carries the full
+    cycle record (inversions, potential, column spread, min cell) — the
+    diagnostics runner is the reference producer of potential-trajectory
+    traces.
     """
     schedule = resolve_algorithm(algorithm)
     work = np.array(grid, copy=True)
@@ -106,6 +116,7 @@ def run_diagnostics(
     target = target_grid(work, side, schedule.order)
     cycle = len(schedule.steps)
     records: list[CycleRecord] = []
+    obs = resolve_observer(observer)
 
     def snapshot(t: int) -> CycleRecord:
         grid01 = threshold_matrix(work)
@@ -119,15 +130,46 @@ def run_diagnostics(
             sorted=bool(np.array_equal(work, target)),
         )
 
+    if obs is not None:
+        obs.on_run_start(RunStart(
+            executor="diagnostics",
+            algorithm=schedule.name,
+            side=side,
+            max_steps=max_steps,
+            order=schedule.order,
+        ))
+    clock = time.perf_counter()
     records.append(snapshot(0))
     t = 0
     while t < max_steps:
         for _ in range(cycle):
             t += 1
             compiled.apply_step(work, t)
-        records.append(snapshot(t))
-        if records[-1].sorted:
+            if obs is not None:
+                obs.on_step(StepEvent(t=t, grid=work))
+        rec = snapshot(t)
+        records.append(rec)
+        if obs is not None:
+            obs.on_cycle(CycleEvent(
+                cycle=t // cycle,
+                t=t,
+                grid=work,
+                info={
+                    "inversions": rec.inversions,
+                    "potential": rec.potential,
+                    "column_spread": rec.column_spread,
+                    "min_cell": list(rec.min_cell),
+                    "sorted": rec.sorted,
+                },
+            ))
+        if rec.sorted:
             break
+    if obs is not None:
+        obs.on_run_end(RunEnd(
+            steps=records[-1].t if records[-1].sorted else -1,
+            completed=records[-1].sorted,
+            wall_time=time.perf_counter() - clock,
+        ))
     return records
 
 

@@ -1,0 +1,189 @@
+"""Metrics registry: instrument semantics, exporters, and event bridges."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import get_algorithm
+from repro.core.engine import default_step_cap, run_until_sorted
+from repro.errors import DimensionError
+from repro.mesh.machine import mesh_sort
+from repro.obs import (
+    MetricsObserver,
+    MetricsRegistry,
+    PotentialObserver,
+    record_link_stats,
+    use_observer,
+)
+from repro.zeroone.diagnostics import run_diagnostics
+
+
+def perm_grid(side: int, seed: int = 7) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.permutation(side * side).reshape(side, side)
+
+
+class TestInstruments:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_x_total", "help text")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(DimensionError):
+            c.inc(-1)
+
+    def test_gauge(self):
+        g = MetricsRegistry().gauge("repro_g")
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value == 3
+
+    def test_histogram_buckets_and_stats(self):
+        h = MetricsRegistry().histogram("repro_h", buckets=(1, 10, 100))
+        for v in (0.5, 5, 50, 500):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 555.5
+        assert h.min == 0.5 and h.max == 500
+        assert h.cumulative_counts() == [1, 2, 3]
+        assert h.overflow == 1
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(DimensionError):
+            MetricsRegistry().histogram("repro_bad", buckets=(10, 1))
+
+    def test_timer_context(self):
+        t = MetricsRegistry().timer("repro_t_seconds")
+        with t.time() as ctx:
+            pass
+        assert t.count == 1
+        assert t.total == ctx.elapsed >= 0
+
+    def test_registration_idempotent_but_kind_checked(self):
+        reg = MetricsRegistry()
+        assert reg.counter("repro_c") is reg.counter("repro_c")
+        with pytest.raises(DimensionError):
+            reg.gauge("repro_c")
+
+    def test_bad_metric_name_rejected(self):
+        with pytest.raises(DimensionError):
+            MetricsRegistry().counter("bad name!")
+
+
+class TestExporters:
+    def make_registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("repro_runs_total", "runs").inc(3)
+        reg.gauge("repro_depth").set(1.5)
+        h = reg.histogram("repro_steps", buckets=(10, 100))
+        h.observe(5)
+        h.observe(50)
+        return reg
+
+    def test_json_roundtrip(self, tmp_path):
+        reg = self.make_registry()
+        path = tmp_path / "metrics.json"
+        text = reg.to_json(path)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == json.loads(text)
+        assert on_disk["repro_runs_total"]["value"] == 3
+        assert on_disk["repro_steps"]["buckets"] == {"10.0": 1, "100.0": 2}
+
+    def test_prometheus_text(self):
+        text = self.make_registry().to_prometheus_text()
+        assert "# TYPE repro_runs_total counter" in text
+        assert "repro_runs_total 3" in text
+        assert "# TYPE repro_depth gauge" in text
+        assert 'repro_steps_bucket{le="10"} 1' in text
+        assert 'repro_steps_bucket{le="+Inf"} 2' in text
+        assert "repro_steps_count 2" in text
+        assert text.endswith("\n")
+
+
+class TestMetricsObserver:
+    def test_engine_run_tallies(self):
+        obs = MetricsObserver()
+        outcome = run_until_sorted(
+            get_algorithm("snake_1"), perm_grid(6), observer=obs
+        )
+        reg = obs.registry
+        t_f = outcome.steps_scalar()
+        assert reg["repro_runs_total"].value == 1
+        assert reg["repro_steps_total"].value == t_f
+        assert reg["repro_run_steps"].count == 1
+        assert reg["repro_run_seconds"].count == 1
+        assert reg["repro_swaps_total"].value > 0
+
+    def test_batched_run_records_every_trial(self):
+        obs = MetricsObserver()
+        grids = np.stack([perm_grid(4, seed=s) for s in range(5)])
+        run_until_sorted(get_algorithm("snake_1"), grids, observer=obs)
+        assert obs.registry["repro_run_steps"].count == 5
+
+    def test_mesh_comparisons_counted(self):
+        obs = MetricsObserver()
+        t_f, machine = mesh_sort(
+            get_algorithm("snake_1"), perm_grid(6),
+            max_steps=default_step_cap(6), observer=obs,
+        )
+        assert obs.registry["repro_comparisons_total"].value == (
+            machine.stats.total_comparisons()
+        )
+        assert obs.registry["repro_swaps_total"].value == (
+            machine.stats.total_swaps()
+        )
+
+
+class TestPotentialObserver:
+    def test_trajectory_matches_diagnostics(self):
+        grid = perm_grid(6, seed=9)
+        obs = PotentialObserver()
+        with use_observer(obs):
+            records = run_diagnostics("snake_1", grid)
+        # One trajectory point per cycle event, ending sorted (minimal Z1).
+        assert len(obs.trajectory) == len(records) - 1
+        assert [v for _, v in obs.trajectory] == [
+            rec.potential for rec in records[1:]
+        ]
+
+    def test_registry_gauge_tracks_last_value(self):
+        reg = MetricsRegistry()
+        obs = PotentialObserver(registry=reg)
+        with use_observer(obs):
+            run_diagnostics("row_major_row_first", perm_grid(6, seed=2))
+        assert reg["repro_potential"].value == obs.trajectory[-1][1]
+        assert reg["repro_cycle_potential"].count == len(obs.trajectory)
+
+    def test_engine_cycle_events_feed_potentials(self):
+        # Without diagnostics: the engine's cycle grids are enough.
+        obs = PotentialObserver()
+        outcome = run_until_sorted(
+            get_algorithm("snake_1"), perm_grid(6), observer=obs
+        )
+        cycle = len(get_algorithm("snake_1").steps)
+        assert len(obs.trajectory) == outcome.steps_scalar() // cycle
+        assert all(
+            isinstance(v, int) and v >= 0 for _, v in obs.trajectory
+        )
+
+
+class TestLinkStats:
+    def test_record_link_stats(self):
+        _, machine = mesh_sort(
+            get_algorithm("row_major_row_first"), perm_grid(6),
+            max_steps=default_step_cap(6),
+        )
+        reg = MetricsRegistry()
+        record_link_stats(reg, machine.stats)
+        assert reg["repro_wire_comparisons_total"].value == (
+            machine.stats.total_comparisons()
+        )
+        assert reg["repro_wire_swaps_total"].value == machine.stats.total_swaps()
+        assert reg["repro_wire_traffic"].count == len(machine.stats.comparisons)
+        busiest = machine.stats.busiest_links(1)[0][1]
+        assert reg["repro_busiest_wire_comparisons"].value == busiest

@@ -1,0 +1,54 @@
+"""Stopwatch / phase-timer helpers shared by the CLI and report writer."""
+
+from __future__ import annotations
+
+from repro.obs import MetricsRegistry, PhaseTimer, StopWatch, format_seconds
+
+
+class TestFormatSeconds:
+    def test_ranges(self):
+        assert format_seconds(0.034) == "0.034s"
+        assert format_seconds(12.34) == "12.3s"
+        assert format_seconds(221.0) == "3m41s"
+
+
+class TestStopWatch:
+    def test_elapsed_nonnegative_and_frozen_after_exit(self):
+        with StopWatch() as watch:
+            running = watch.elapsed
+            assert running >= 0
+        frozen = watch.elapsed
+        assert frozen >= running
+        assert watch.elapsed == frozen  # no longer ticking
+
+    def test_str_is_formatted(self):
+        with StopWatch() as watch:
+            pass
+        assert str(watch).endswith("s")
+
+
+class TestPhaseTimer:
+    def test_phases_recorded_in_order(self):
+        timer = PhaseTimer()
+        with timer.phase("alpha"):
+            pass
+        with timer.phase("beta"):
+            pass
+        assert [name for name, _ in timer.phases] == ["alpha", "beta"]
+        assert timer.total == sum(elapsed for _, elapsed in timer.phases)
+
+    def test_render_table(self):
+        timer = PhaseTimer()
+        timer.record("E-T2", 1.5)
+        text = timer.render_table()
+        assert "E-T2" in text
+        assert "total" in text
+        assert PhaseTimer().render_table() == "(no phases recorded)"
+
+    def test_registry_mirror(self):
+        reg = MetricsRegistry()
+        timer = PhaseTimer(reg)
+        timer.record("E-T2", 0.5)
+        timer.record("E-C1", 0.25)
+        assert reg["repro_phase_seconds"].count == 2
+        assert reg["repro_phase_seconds"].total == 0.75

@@ -38,6 +38,28 @@ def test_example_runs(script, args):
     assert result.stdout.strip(), f"{script} produced no output"
 
 
+def test_trace_report_traced_run(tmp_path):
+    """The observability walkthrough: --trace emits a valid trace + manifest."""
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(EXAMPLES / "trace_report.py"),
+            "snake_2", "6", "--trace", str(tmp_path),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    from repro.obs import load_manifest, read_trace
+
+    events = read_trace(tmp_path / "events.jsonl")  # schema-validates
+    assert any(ev["event"] == "cycle" and "info" in ev for ev in events)
+    manifest = load_manifest(tmp_path / "manifest.json")
+    assert manifest.algorithm == "snake_2"
+    assert manifest.extra["steps"] > 0
+
+
 def test_experiments_cli_list():
     result = subprocess.run(
         [sys.executable, "-m", "repro.experiments", "--list"],
