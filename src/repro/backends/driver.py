@@ -1,0 +1,275 @@
+"""The shared instrumented run-loop driver.
+
+One module owns what the four historical executors each reimplemented:
+step caps, completion detection, wall timing, cap handling, and the
+``RunStart``/``StepEvent``/``CycleEvent``/``RunEnd`` observer stream.  A
+backend only knows how to apply one schedule step; the driver turns that
+into sort-to-completion runs (:func:`run_sort`), fixed-step runs
+(:func:`run_steps`), and step iterators (:func:`iter_run`).
+
+This module is also the package's **single event-emission site**: every
+``on_run_start``/``on_step``/``on_cycle``/``on_run_end`` dispatch in the
+codebase goes through the ``emit_*`` helpers below (the diagnostics runner
+and the processor-level machine's manual stepping mode call them too), so
+observers see one schema regardless of executor.
+
+Per-step swap counts on the vectorized backends require diffing the whole
+(possibly batched) grid every step, so they are an opt-in trace detail:
+the driver asks for them only when the resolved observer declares
+``wants_swap_detail`` (see :func:`repro.backends.base.wants_swap_detail`).
+Cell-level backends count swaps as a free by-product and always report
+them.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.backends.base import (
+    Backend,
+    ExecutorRun,
+    SortOutcome,
+    step_cap,
+    wants_swap_detail,
+)
+from repro.backends.registry import get_backend
+from repro.core.schedule import Schedule
+from repro.errors import StepLimitExceeded
+from repro.obs.context import resolve_observer
+from repro.obs.events import CycleEvent, Observer, RunEnd, RunStart, StepEvent
+
+__all__ = [
+    "run_sort",
+    "run_steps",
+    "iter_run",
+    "emit_run_start",
+    "emit_step",
+    "emit_cycle",
+    "emit_run_end",
+]
+
+
+# ---------------------------------------------------------------------------
+# Event emission — the only place in the package that dispatches to observers.
+# ---------------------------------------------------------------------------
+
+def emit_run_start(observer: Observer, **fields: Any) -> None:
+    """Dispatch a :class:`RunStart` built from ``fields``."""
+    observer.on_run_start(RunStart(**fields))
+
+
+def emit_step(observer: Observer, **fields: Any) -> None:
+    """Dispatch a :class:`StepEvent` built from ``fields``."""
+    observer.on_step(StepEvent(**fields))
+
+
+def emit_cycle(observer: Observer, **fields: Any) -> None:
+    """Dispatch a :class:`CycleEvent` built from ``fields``."""
+    observer.on_cycle(CycleEvent(**fields))
+
+
+def emit_run_end(observer: Observer, **fields: Any) -> None:
+    """Dispatch a :class:`RunEnd` built from ``fields``."""
+    observer.on_run_end(RunEnd(**fields))
+
+
+# ---------------------------------------------------------------------------
+# Driver internals.
+# ---------------------------------------------------------------------------
+
+def _start_run(
+    backend: Backend,
+    run: ExecutorRun,
+    schedule: Schedule,
+    obs: Observer | None,
+    max_steps: int | None,
+) -> None:
+    if obs is None:
+        return
+    emit_run_start(
+        obs,
+        executor=backend.event_executor,
+        algorithm=schedule.name,
+        side=run.rows,
+        rows=run.rows,
+        cols=run.cols,
+        batch_shape=run.batch_shape,
+        max_steps=max_steps,
+        order=schedule.order,
+    )
+
+
+def _step_and_emit(
+    run: ExecutorRun, t: int, obs: Observer | None, want_swaps: bool
+) -> None:
+    """Apply step ``t`` and, with an observer attached, emit its events."""
+    if obs is None:
+        run.apply_step(t)
+        return
+    stats = run.apply_step(t, want_swaps=want_swaps)
+    emit_step(
+        obs, t=t, grid=run.step_grid(), swaps=stats.swaps,
+        comparisons=stats.comparisons,
+    )
+    if t % run.cycle_len == 0:
+        emit_cycle(obs, cycle=t // run.cycle_len, t=t, grid=run.cycle_grid())
+
+
+def _scalarize(value: np.ndarray, batched: bool) -> Any:
+    """Single-grid backends historically report plain ints/bools in
+    ``RunEnd`` (observers match on ``is True``); batch-capable backends
+    report arrays."""
+    if batched:
+        return np.asarray(value)
+    arr = np.asarray(value)
+    return bool(arr) if arr.dtype == bool else int(arr)
+
+
+# ---------------------------------------------------------------------------
+# Public driver entry points.
+# ---------------------------------------------------------------------------
+
+def run_sort(
+    backend: str | Backend,
+    schedule: Schedule,
+    grid: np.ndarray,
+    *,
+    max_steps: int | None = None,
+    raise_on_cap: bool = False,
+    observer: Observer | None = None,
+) -> SortOutcome:
+    """Run ``schedule`` on ``grid`` until every grid in the batch reaches
+    its target order (or the step cap is hit).
+
+    Parameters
+    ----------
+    backend:
+        Registry name or :class:`Backend` instance.
+    schedule:
+        Algorithm schedule (see :mod:`repro.core.algorithms`).
+    grid:
+        ``(rows, cols)`` array — or ``(..., rows, cols)`` on batch-capable
+        backends; never modified.
+    max_steps:
+        Step cap; defaults to :func:`repro.backends.base.step_cap`.
+    raise_on_cap:
+        If True, raise :class:`StepLimitExceeded` when the cap is hit with
+        unsorted grids; otherwise report ``steps == -1`` for those entries.
+    observer:
+        Optional :class:`~repro.obs.events.Observer`; falls back to the
+        ambient observer installed with :func:`repro.obs.use_observer`.
+        With no observer resolved the loop is the uninstrumented fast path.
+
+    Notes
+    -----
+    Sorted grids are fixed points of every schedule in this package (the
+    test suite verifies this), so the first time a grid matches the target
+    it stays matched and the recorded step count is exact — this mirrors
+    the paper's t_f, the step at which "the sorting algorithm is complete".
+    """
+    be = get_backend(backend)
+    run = be.prepare(schedule, grid)
+    if max_steps is None:
+        max_steps = step_cap(run.rows, run.cols)
+    obs = resolve_observer(observer)
+    want_swaps = be.counts_swaps or (obs is not None and wants_swap_detail(obs))
+
+    steps = np.full(run.batch_shape, -1, dtype=np.int64)
+    done = np.asarray(run.done_mask())
+    steps = np.where(done, 0, steps)
+
+    _start_run(be, run, schedule, obs, max_steps)
+    clock = time.perf_counter()
+    t = 0
+    while t < max_steps and not np.all(done):
+        t += 1
+        _step_and_emit(run, t, obs, want_swaps)
+        now = np.asarray(run.done_mask())
+        newly = now & ~done
+        if np.any(newly):
+            steps = np.where(newly, t, steps)
+            done = done | now
+    if obs is not None:
+        emit_run_end(
+            obs,
+            steps=_scalarize(np.where(done, steps, -1), be.supports_batch),
+            completed=_scalarize(done, be.supports_batch),
+            wall_time=time.perf_counter() - clock,
+        )
+
+    completed = np.asarray(done)
+    if raise_on_cap and not np.all(completed):
+        raise StepLimitExceeded(max_steps, int(np.sum(~completed)))
+    return SortOutcome(
+        steps=np.asarray(steps),
+        completed=completed,
+        final=run.final(),
+        max_steps=max_steps,
+        rows=run.rows,
+        cols=run.cols,
+        backend=be.name,
+    )
+
+
+def run_steps(
+    backend: str | Backend,
+    schedule: Schedule,
+    grid: np.ndarray,
+    num_steps: int,
+    *,
+    start_t: int = 1,
+    observer: Observer | None = None,
+) -> np.ndarray:
+    """Return the grid state after exactly ``num_steps`` schedule steps."""
+    be = get_backend(backend)
+    run = be.prepare(schedule, grid)
+    obs = resolve_observer(observer)
+    want_swaps = be.counts_swaps or (obs is not None and wants_swap_detail(obs))
+    _start_run(be, run, schedule, obs, num_steps)
+    clock = time.perf_counter()
+    for t in range(start_t, start_t + num_steps):
+        _step_and_emit(run, t, obs, want_swaps)
+    if obs is not None:
+        emit_run_end(
+            obs, steps=num_steps, completed=None,
+            wall_time=time.perf_counter() - clock,
+        )
+    return run.final()
+
+
+def iter_run(
+    backend: str | Backend,
+    schedule: Schedule,
+    grid: np.ndarray,
+    num_steps: int,
+    *,
+    start_t: int = 1,
+    copy: bool = True,
+    observer: Observer | None = None,
+) -> Iterator[tuple[int, np.ndarray]]:
+    """Yield ``(t, grid_after_step_t)`` for ``num_steps`` consecutive steps.
+
+    With ``copy=True`` (default) each yielded grid is an independent
+    snapshot; with ``copy=False`` backends that keep a live working buffer
+    yield it directly (cheaper when the consumer only reads per-step
+    statistics).  An observer receives the same event stream as
+    :func:`run_steps`; ``on_run_end`` fires only if the iterator is
+    exhausted.
+    """
+    be = get_backend(backend)
+    run = be.prepare(schedule, grid)
+    obs = resolve_observer(observer)
+    want_swaps = be.counts_swaps or (obs is not None and wants_swap_detail(obs))
+    _start_run(be, run, schedule, obs, num_steps)
+    clock = time.perf_counter()
+    for t in range(start_t, start_t + num_steps):
+        _step_and_emit(run, t, obs, want_swaps)
+        yield t, run.iter_grid(copy)
+    if obs is not None:
+        emit_run_end(
+            obs, steps=num_steps, completed=None,
+            wall_time=time.perf_counter() - clock,
+        )

@@ -1,0 +1,37 @@
+"""Rectangular-mesh backend.
+
+Same strided-slice kernels as the vectorized backend — the unified compiler
+in :mod:`repro.backends.compile` treats the square case as ``rows == cols``
+— but validated and targeted for ``rows x cols`` grids.  On square meshes it
+agrees cell-for-cell with the vectorized backend (the backend test suite
+asserts this through the unified API).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import Backend
+from repro.backends.compile import compiled_schedule
+from repro.backends.vectorized import ArrayRun
+from repro.core.schedule import Schedule
+from repro.rect.orders import rect_target_grid, validate_rect
+
+__all__ = ["RectBackend"]
+
+
+class RectBackend(Backend):
+    """Array-kernel executor for (batched) rectangular meshes."""
+
+    name = "rect"
+    event_executor = "rect"
+    supports_batch = True
+    supports_rect = True
+    counts_swaps = False
+
+    def prepare(self, schedule: Schedule, grid: np.ndarray) -> ArrayRun:
+        work = np.array(grid, copy=True)
+        rows, cols = validate_rect(work)
+        compiled = compiled_schedule(schedule, rows, cols)
+        target = rect_target_grid(work, rows, cols, schedule.order)
+        return ArrayRun(compiled, work, target)

@@ -1,0 +1,88 @@
+"""Backend registry: names in, :class:`~repro.backends.base.Backend` out.
+
+The four built-in backends register lazily (imports happen on first
+resolution, which keeps the layer import-light and cycle-free); downstream
+code — and the test suite's cross-validation sweeps — discover them through
+:func:`available_backends`.  Third-party backends plug in with
+:func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.backends.base import Backend
+from repro.errors import DimensionError
+
+__all__ = ["register_backend", "get_backend", "available_backends"]
+
+
+def _vectorized() -> Backend:
+    from repro.backends.vectorized import VectorizedBackend
+
+    return VectorizedBackend()
+
+
+def _reference() -> Backend:
+    from repro.backends.reference import ReferenceBackend
+
+    return ReferenceBackend()
+
+
+def _mesh() -> Backend:
+    from repro.backends.mesh import MeshBackend
+
+    return MeshBackend()
+
+
+def _rect() -> Backend:
+    from repro.backends.rect import RectBackend
+
+    return RectBackend()
+
+
+_FACTORIES: dict[str, Callable[[], Backend]] = {
+    "vectorized": _vectorized,
+    "reference": _reference,
+    "mesh": _mesh,
+    "rect": _rect,
+}
+_INSTANCES: dict[str, Backend] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[[], Backend], *, replace: bool = False
+) -> None:
+    """Register a backend factory under ``name``.
+
+    ``factory`` is called at most once, on first :func:`get_backend`
+    resolution.  Re-registering an existing name raises unless ``replace``
+    is given (the built-ins can be shadowed deliberately, e.g. by a test
+    double).
+    """
+    if name in _FACTORIES and not replace:
+        raise DimensionError(
+            f"backend {name!r} is already registered; pass replace=True to shadow it"
+        )
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def get_backend(name: str | Backend) -> Backend:
+    """Resolve a backend by registry name (instances pass through)."""
+    if isinstance(name, Backend):
+        return name
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise DimensionError(
+            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+        ) from None
+    if name not in _INSTANCES:
+        _INSTANCES[name] = factory()
+    return _INSTANCES[name]
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, in registration order."""
+    return tuple(_FACTORIES)

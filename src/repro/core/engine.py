@@ -1,39 +1,29 @@
-"""Vectorized (batched) NumPy executor for mesh comparator schedules.
+"""Vectorized (batched) executor — compatibility shim over the backend layer.
 
-Following the HPC guides, every odd/even transposition step is executed as a
-pair of strided slice views combined with ``np.minimum``/``np.maximum`` —
-there are no Python-level loops over cells, and a whole *batch* of
-independent grids shaped ``(..., side, side)`` advances in one call, which is
-how the Monte-Carlo experiments simulate hundreds of permutations at once.
+The strided-slice kernels, the run loops, and the outcome type now live in
+:mod:`repro.backends` (one compiler for square and rectangular meshes, one
+driver owning caps/completion/timing/events, one :class:`SortOutcome`).
+This module keeps the historical entry points — ``CompiledSchedule``,
+``run_until_sorted``, ``run_fixed_steps``, ``iter_steps``,
+``default_step_cap`` — as thin wrappers so existing imports keep working.
 
-The executor is semantically identical to the pure-Python oracle in
-:mod:`repro.core.reference` and to the processor-level machine in
-:mod:`repro.mesh.machine`; the test suite cross-validates all three.
+New code should prefer the backend layer directly::
+
+    from repro.backends import run_sort
+    outcome = run_sort("vectorized", schedule, grid)
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-from typing import Callable, Iterator
+from typing import Iterator
 
 import numpy as np
 
-from repro.core.algorithms import check_side
-from repro.core.orders import target_grid, validate_grid
-from repro.core.schedule import (
-    FORWARD,
-    LineOp,
-    Op,
-    Schedule,
-    WrapOp,
-    lines_slice,
-    pair_count,
-    validate_schedule,
-)
-from repro.errors import DimensionError, StepLimitExceeded
-from repro.obs.context import resolve_observer
-from repro.obs.events import CycleEvent, Observer, RunEnd, RunStart, StepEvent
+from repro.backends.base import SortOutcome, step_cap
+from repro.backends.compile import CompiledSchedule as _UnifiedCompiledSchedule
+from repro.backends.driver import iter_run, run_sort, run_steps
+from repro.core.schedule import Schedule
+from repro.obs.events import Observer
 
 __all__ = [
     "CompiledSchedule",
@@ -45,145 +35,22 @@ __all__ = [
 ]
 
 
-def _compile_line_op(op: LineOp, side: int) -> Callable[[np.ndarray], None]:
-    """Build an in-place kernel for one transposition op on grids
-    shaped ``(..., side, side)``."""
-    p = pair_count(op.offset, side)
-    ls = lines_slice(op.lines)
-    lo_slice = slice(op.offset, op.offset + 2 * p, 2)
-    hi_slice = slice(op.offset + 1, op.offset + 2 * p, 2)
-    forward = op.direction == FORWARD
+class CompiledSchedule(_UnifiedCompiledSchedule):
+    """A schedule specialized to a concrete (square) mesh side.
 
-    if p == 0:
-        def kernel_noop(grid: np.ndarray) -> None:
-            return
-        return kernel_noop
-
-    if op.axis == "row":
-        def kernel(grid: np.ndarray) -> None:
-            a = grid[..., ls, lo_slice]
-            b = grid[..., ls, hi_slice]
-            lo = np.minimum(a, b)
-            hi = np.maximum(a, b)
-            if forward:
-                a[...] = lo
-                b[...] = hi
-            else:
-                a[...] = hi
-                b[...] = lo
-    else:
-        def kernel(grid: np.ndarray) -> None:
-            a = grid[..., lo_slice, ls]
-            b = grid[..., hi_slice, ls]
-            lo = np.minimum(a, b)
-            hi = np.maximum(a, b)
-            if forward:
-                a[...] = lo
-                b[...] = hi
-            else:
-                a[...] = hi
-                b[...] = lo
-
-    return kernel
-
-
-def _compile_wrap_op(side: int) -> Callable[[np.ndarray], None]:
-    def kernel(grid: np.ndarray) -> None:
-        a = grid[..., : side - 1, side - 1]
-        b = grid[..., 1:side, 0]
-        lo = np.minimum(a, b)
-        hi = np.maximum(a, b)
-        a[...] = lo
-        b[...] = hi
-
-    return kernel
-
-
-def _compile_op(op: Op, side: int) -> Callable[[np.ndarray], None]:
-    if isinstance(op, WrapOp):
-        return _compile_wrap_op(side)
-    return _compile_line_op(op, side)
-
-
-class CompiledSchedule:
-    """A schedule specialized to a concrete mesh side.
-
-    Compiling resolves every op into an in-place NumPy kernel; the schedule
-    is validated once (step-op disjointness and side-parity constraints).
+    Kept for compatibility; equivalent to compiling for ``rows == cols ==
+    side`` with the unified compiler.  Prefer
+    :func:`repro.backends.compiled_schedule`, which memoizes compilations.
     """
 
     def __init__(self, schedule: Schedule, side: int):
-        check_side(schedule, side)
-        validate_schedule(schedule, side)
-        self.schedule = schedule
-        self.side = int(side)
-        self._steps: list[list[Callable[[np.ndarray], None]]] = [
-            [_compile_op(op, side) for op in step] for step in schedule.steps
-        ]
-
-    def __len__(self) -> int:
-        return len(self._steps)
-
-    def apply_step(self, grid: np.ndarray, t: int) -> None:
-        """Execute paper step ``t`` (1-based) in place on ``grid``."""
-        if t < 1:
-            raise DimensionError(f"step times are 1-based, got {t}")
-        for kernel in self._steps[(t - 1) % len(self._steps)]:
-            kernel(grid)
-
-    def run(self, grid: np.ndarray, num_steps: int, *, start_t: int = 1) -> None:
-        """Execute ``num_steps`` consecutive steps in place, starting at
-        paper time ``start_t``."""
-        for t in range(start_t, start_t + num_steps):
-            self.apply_step(grid, t)
-
-
-@dataclass
-class SortOutcome:
-    """Result of :func:`run_until_sorted`.
-
-    Attributes
-    ----------
-    steps:
-        Integer array (batch-shaped; 0-d for a single grid) with the first
-        1-based step time after which the grid equals the target order, 0 if
-        the input was already sorted, and -1 if the step cap was reached.
-    completed:
-        Boolean mask of batch elements that reached the target order.
-    final:
-        The grids after the run.
-    max_steps:
-        The cap that was in force.
-    """
-
-    steps: np.ndarray
-    completed: np.ndarray
-    final: np.ndarray
-    max_steps: int
-
-    @property
-    def all_completed(self) -> bool:
-        return bool(np.all(self.completed))
-
-    def steps_scalar(self) -> int:
-        """The step count for an unbatched run (raises if batched)."""
-        if self.steps.ndim != 0:
-            raise DimensionError(
-                f"steps_scalar() on a batched outcome of shape {self.steps.shape}"
-            )
-        return int(self.steps)
+        super().__init__(schedule, side)
 
 
 def default_step_cap(side: int) -> int:
-    """A generous cap for runs expected to finish in Theta(N) steps.
-
-    The paper proves worst cases of Theta(N) with small constants (the
-    row-major worst case is at least ``2N - 4*sqrt(N)`` and at most ``O(N)``);
-    ``8*N + 16*side + 64`` leaves ample slack while still bounding runaway
-    runs on buggy schedules.
-    """
-    n_cells = side * side
-    return 8 * n_cells + 16 * side + 64
+    """A generous step cap for square meshes (alias of
+    :func:`repro.backends.step_cap` with ``rows == cols == side``)."""
+    return step_cap(side)
 
 
 def run_until_sorted(
@@ -196,92 +63,16 @@ def run_until_sorted(
 ) -> SortOutcome:
     """Run a schedule until every grid in the batch reaches its target order.
 
-    Parameters
-    ----------
-    schedule:
-        Algorithm schedule (see :mod:`repro.core.algorithms`).
-    grid:
-        Array shaped ``(side, side)`` or ``(..., side, side)``; not modified.
-    max_steps:
-        Step cap; defaults to :func:`default_step_cap`.
-    raise_on_cap:
-        If True, raise :class:`StepLimitExceeded` when the cap is hit with
-        unsorted grids; otherwise report ``steps == -1`` for those entries.
-    observer:
-        Optional :class:`~repro.obs.events.Observer`; falls back to the
-        ambient observer installed with :func:`repro.obs.use_observer`.
-        With no observer resolved the loop is the original uninstrumented
-        fast path; with one, each step additionally diffs the previous grid
-        to report an exact per-step swap count.
-
-    Notes
-    -----
-    Sorted grids are fixed points of every schedule in this package (the
-    test suite verifies this), so the first time a grid matches the target it
-    stays matched and the recorded step count is exact — this mirrors the
-    paper's t_f, the step at which "the sorting algorithm is complete".
+    Alias for :func:`repro.backends.run_sort` on the ``"vectorized"``
+    backend; see that function for parameter semantics.
     """
-    work = np.array(grid, copy=True)
-    side = validate_grid(work)
-    compiled = CompiledSchedule(schedule, side)
-    if max_steps is None:
-        max_steps = default_step_cap(side)
-
-    target = target_grid(work, side, schedule.order)
-    batch_shape = work.shape[:-2]
-    steps = np.full(batch_shape, -1, dtype=np.int64)
-    done = np.all(work == target, axis=(-2, -1))
-    steps = np.where(done, 0, steps)
-
-    obs = resolve_observer(observer)
-    t = 0
-    if obs is None:
-        while t < max_steps and not np.all(done):
-            t += 1
-            compiled.apply_step(work, t)
-            now = np.all(work == target, axis=(-2, -1))
-            newly = now & ~done
-            if np.any(newly):
-                steps = np.where(newly, t, steps)
-                done = done | now
-    else:
-        cycle_len = len(compiled)
-        obs.on_run_start(RunStart(
-            executor="engine",
-            algorithm=schedule.name,
-            side=side,
-            batch_shape=tuple(batch_shape),
-            max_steps=max_steps,
-            order=schedule.order,
-        ))
-        clock = time.perf_counter()
-        while t < max_steps and not np.all(done):
-            t += 1
-            before = work.copy()
-            compiled.apply_step(work, t)
-            swaps = int(np.count_nonzero(before != work)) // 2
-            obs.on_step(StepEvent(t=t, grid=work, swaps=swaps))
-            if t % cycle_len == 0:
-                obs.on_cycle(CycleEvent(cycle=t // cycle_len, t=t, grid=work))
-            now = np.all(work == target, axis=(-2, -1))
-            newly = now & ~done
-            if np.any(newly):
-                steps = np.where(newly, t, steps)
-                done = done | now
-        obs.on_run_end(RunEnd(
-            steps=np.asarray(steps),
-            completed=np.asarray(done),
-            wall_time=time.perf_counter() - clock,
-        ))
-
-    completed = done if isinstance(done, np.ndarray) else np.asarray(done)
-    if raise_on_cap and not np.all(completed):
-        raise StepLimitExceeded(max_steps, int(np.sum(~completed)))
-    return SortOutcome(
-        steps=np.asarray(steps),
-        completed=np.asarray(completed),
-        final=work,
+    return run_sort(
+        "vectorized",
+        schedule,
+        grid,
         max_steps=max_steps,
+        raise_on_cap=raise_on_cap,
+        observer=observer,
     )
 
 
@@ -294,35 +85,9 @@ def run_fixed_steps(
     observer: Observer | None = None,
 ) -> np.ndarray:
     """Return a copy of ``grid`` after exactly ``num_steps`` schedule steps."""
-    work = np.array(grid, copy=True)
-    side = validate_grid(work)
-    compiled = CompiledSchedule(schedule, side)
-    obs = resolve_observer(observer)
-    if obs is None:
-        compiled.run(work, num_steps, start_t=start_t)
-        return work
-
-    cycle_len = len(compiled)
-    obs.on_run_start(RunStart(
-        executor="engine",
-        algorithm=schedule.name,
-        side=side,
-        batch_shape=tuple(work.shape[:-2]),
-        max_steps=num_steps,
-        order=schedule.order,
-    ))
-    clock = time.perf_counter()
-    for t in range(start_t, start_t + num_steps):
-        before = work.copy()
-        compiled.apply_step(work, t)
-        swaps = int(np.count_nonzero(before != work)) // 2
-        obs.on_step(StepEvent(t=t, grid=work, swaps=swaps))
-        if t % cycle_len == 0:
-            obs.on_cycle(CycleEvent(cycle=t // cycle_len, t=t, grid=work))
-    obs.on_run_end(RunEnd(
-        steps=num_steps, completed=None, wall_time=time.perf_counter() - clock
-    ))
-    return work
+    return run_steps(
+        "vectorized", schedule, grid, num_steps, start_t=start_t, observer=observer
+    )
 
 
 def iter_steps(
@@ -336,42 +101,15 @@ def iter_steps(
 ) -> Iterator[tuple[int, np.ndarray]]:
     """Yield ``(t, grid_after_step_t)`` for ``num_steps`` consecutive steps.
 
-    With ``copy=True`` (default) each yielded grid is an independent
-    snapshot, suitable for building traces for the 0-1 trackers; with
-    ``copy=False`` the same working buffer is yielded each time (cheaper when
-    the consumer only reads per-step statistics).
-
-    An observer (explicit or ambient) receives the same event stream as
-    :func:`run_fixed_steps`; ``on_run_end`` fires only if the iterator is
-    exhausted.
+    Alias for :func:`repro.backends.iter_run` on the ``"vectorized"``
+    backend; ``on_run_end`` fires only if the iterator is exhausted.
     """
-    work = np.array(grid, copy=True)
-    side = validate_grid(work)
-    compiled = CompiledSchedule(schedule, side)
-    obs = resolve_observer(observer)
-    if obs is not None:
-        obs.on_run_start(RunStart(
-            executor="engine",
-            algorithm=schedule.name,
-            side=side,
-            batch_shape=tuple(work.shape[:-2]),
-            max_steps=num_steps,
-            order=schedule.order,
-        ))
-    cycle_len = len(compiled)
-    clock = time.perf_counter()
-    for t in range(start_t, start_t + num_steps):
-        if obs is None:
-            compiled.apply_step(work, t)
-        else:
-            before = work.copy()
-            compiled.apply_step(work, t)
-            swaps = int(np.count_nonzero(before != work)) // 2
-            obs.on_step(StepEvent(t=t, grid=work, swaps=swaps))
-            if t % cycle_len == 0:
-                obs.on_cycle(CycleEvent(cycle=t // cycle_len, t=t, grid=work))
-        yield t, (work.copy() if copy else work)
-    if obs is not None:
-        obs.on_run_end(RunEnd(
-            steps=num_steps, completed=None, wall_time=time.perf_counter() - clock
-        ))
+    return iter_run(
+        "vectorized",
+        schedule,
+        grid,
+        num_steps,
+        start_t=start_t,
+        copy=copy,
+        observer=observer,
+    )

@@ -10,17 +10,15 @@ it on small meshes.
 
 from __future__ import annotations
 
-import time
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.algorithms import check_side
-from repro.core.orders import is_sorted_grid, target_grid
+from repro.core.orders import is_sorted_grid
 from repro.core.schedule import Schedule, comparator_pairs, validate_schedule
-from repro.errors import DimensionError, StepLimitExceeded
-from repro.obs.context import resolve_observer
-from repro.obs.events import CycleEvent, Observer, RunEnd, RunStart, StepEvent
+from repro.errors import DimensionError
+from repro.obs.events import Observer
 
 __all__ = ["ReferenceMachine", "reference_sort"]
 
@@ -90,48 +88,19 @@ def reference_sort(
 
     Returns ``(t_f, final_grid)`` where ``t_f`` is the first step after which
     the grid equals the target layout (0 if already sorted).  Raises
-    :class:`StepLimitExceeded` if the cap is reached first.  An observer
-    (explicit or ambient) receives the standard event stream with per-step
-    swap counts; the oracle is already cell-by-cell, so instrumentation adds
-    no asymptotic cost here.
+    :class:`~repro.errors.StepLimitExceeded` if the cap is reached first.
+    Compatibility shim over :func:`repro.backends.run_sort` on the
+    ``"reference"`` backend; the shared driver emits the event stream (swap
+    counts are a free by-product of the cell-by-cell interpretation).
     """
-    machine = ReferenceMachine(schedule, grid)
-    target = target_grid(machine.as_array(), machine.side, schedule.order)
-    obs = resolve_observer(observer)
-    if obs is not None:
-        obs.on_run_start(RunStart(
-            executor="reference",
-            algorithm=schedule.name,
-            side=machine.side,
-            max_steps=max_steps,
-            order=schedule.order,
-        ))
-    clock = time.perf_counter()
-    cycle_len = len(schedule.steps)
+    from repro.backends.driver import run_sort
 
-    def finish(t_f: int) -> tuple[int, np.ndarray]:
-        final = machine.as_array()
-        if obs is not None:
-            obs.on_run_end(RunEnd(
-                steps=t_f, completed=True,
-                wall_time=time.perf_counter() - clock,
-            ))
-        return t_f, final
-
-    if np.array_equal(machine.as_array(), target):
-        return finish(0)
-    for t in range(1, max_steps + 1):
-        swaps = machine.step()
-        if obs is not None:
-            obs.on_step(StepEvent(t=t, grid=machine.as_array(), swaps=swaps))
-            if t % cycle_len == 0:
-                obs.on_cycle(CycleEvent(
-                    cycle=t // cycle_len, t=t, grid=machine.as_array()
-                ))
-        if np.array_equal(machine.as_array(), target):
-            return finish(t)
-    if obs is not None:
-        obs.on_run_end(RunEnd(
-            steps=-1, completed=False, wall_time=time.perf_counter() - clock
-        ))
-    raise StepLimitExceeded(max_steps, 1)
+    outcome = run_sort(
+        "reference",
+        schedule,
+        np.asarray(grid),
+        max_steps=max_steps,
+        raise_on_cap=True,
+        observer=observer,
+    )
+    return outcome.steps_scalar(), outcome.final

@@ -21,16 +21,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backends import Backend, get_backend, run_sort
 from repro.core.algorithms import get_algorithm
-from repro.core.engine import (
-    SortOutcome,
-    default_step_cap,
-    iter_steps,
-    run_fixed_steps,
-    run_until_sorted,
-)
-from repro.core.orders import validate_grid
-from repro.core.reference import reference_sort
+from repro.core.engine import SortOutcome, iter_steps, run_fixed_steps
 from repro.core.schedule import Schedule
 from repro.errors import DimensionError
 from repro.obs.events import Observer
@@ -72,6 +65,10 @@ def resolve_algorithm(algorithm: str | Schedule) -> Schedule:
 _resolve = resolve_algorithm
 
 
+# Historical ``engine=`` spellings and their backend-registry names.
+_ENGINE_TO_BACKEND = {"numpy": "vectorized", "reference": "reference"}
+
+
 def sort_grid(
     algorithm: str | Schedule,
     grid: np.ndarray,
@@ -80,6 +77,7 @@ def sort_grid(
     engine: str = "numpy",
     raise_on_cap: bool = False,
     observer: Observer | None = None,
+    backend: str | Backend | None = None,
 ) -> SortReport:
     """Sort a (possibly batched) grid to completion.
 
@@ -90,40 +88,43 @@ def sort_grid(
     grid:
         ``(side, side)`` or ``(..., side, side)`` array; left unmodified.
     max_steps:
-        Step cap; defaults to :func:`repro.core.engine.default_step_cap`.
+        Step cap; defaults to :func:`repro.backends.step_cap`.
     engine:
-        ``"numpy"`` (vectorized, batch-capable) or ``"reference"``
-        (pure-Python oracle; single grid only).
+        Historical executor selector: ``"numpy"`` (vectorized,
+        batch-capable) or ``"reference"`` (pure-Python oracle; single grid
+        only, always raises on cap).  Ignored when ``backend`` is given.
     raise_on_cap:
         Raise :class:`~repro.errors.StepLimitExceeded` instead of reporting
         ``steps == -1`` entries.
     observer:
         Optional :class:`~repro.obs.events.Observer` forwarded to the
-        selected executor (ambient observers installed with
+        driver (ambient observers installed with
         :func:`repro.obs.use_observer` apply without this argument).
+    backend:
+        Backend-registry name (see :func:`repro.backends.available_backends`)
+        or instance; wins over ``engine`` when provided.
     """
     schedule = _resolve(algorithm)
-    side = validate_grid(grid)
-    if engine == "numpy":
-        outcome = run_until_sorted(
-            schedule, grid, max_steps=max_steps, raise_on_cap=raise_on_cap,
-            observer=observer,
-        )
-    elif engine == "reference":
-        arr = np.asarray(grid)
-        if arr.ndim != 2:
-            raise DimensionError("the reference engine accepts a single grid only")
-        cap = max_steps if max_steps is not None else default_step_cap(side)
-        t_f, final = reference_sort(schedule, arr, max_steps=cap, observer=observer)
-        outcome = SortOutcome(
-            steps=np.asarray(t_f, dtype=np.int64),
-            completed=np.asarray(True),
-            final=final,
-            max_steps=cap,
-        )
-    else:
-        raise DimensionError(f"unknown engine {engine!r}; use 'numpy' or 'reference'")
-    return SortReport(algorithm=schedule.name, side=side, outcome=outcome)
+    if backend is None:
+        try:
+            backend = _ENGINE_TO_BACKEND[engine]
+        except KeyError:
+            raise DimensionError(
+                f"unknown engine {engine!r}; use 'numpy' or 'reference' "
+                "(or pass backend=)"
+            ) from None
+        if engine == "reference":
+            # The oracle path has always treated a capped run as an error.
+            raise_on_cap = True
+    outcome = run_sort(
+        get_backend(backend),
+        schedule,
+        grid,
+        max_steps=max_steps,
+        raise_on_cap=raise_on_cap,
+        observer=observer,
+    )
+    return SortReport(algorithm=schedule.name, side=outcome.rows, outcome=outcome)
 
 
 def sort_steps(

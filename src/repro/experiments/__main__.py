@@ -63,6 +63,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--all", action="store_true", help="run every experiment")
     parser.add_argument("--scale", choices=("quick", "full"), default="quick")
     parser.add_argument("--seed", type=int, default=20260706)
+    parser.add_argument(
+        "--backend", default="vectorized",
+        help="execution backend for the Monte-Carlo samplers "
+             "(see repro.backends.available_backends(); default: vectorized)",
+    )
     parser.add_argument("--csv", metavar="DIR", help="also write each table as CSV")
     parser.add_argument(
         "--summary", metavar="FILE",
@@ -125,7 +130,13 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote {out}")
 
     if args.summary:
-        cfg = ExperimentConfig(scale=args.scale, seed=args.seed)
+        try:
+            cfg = ExperimentConfig(
+                scale=args.scale, seed=args.seed, backend=args.backend
+            )
+        except DimensionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         try:
             if persistent_observers:
                 with use_observer(CompositeObserver(persistent_observers)):
@@ -157,7 +168,11 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
-    cfg = ExperimentConfig(scale=args.scale, seed=args.seed)
+    try:
+        cfg = ExperimentConfig(scale=args.scale, seed=args.seed, backend=args.backend)
+    except DimensionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     for exp_id in ids:
         sink: JsonlTraceSink | None = None
         observers = list(persistent_observers)

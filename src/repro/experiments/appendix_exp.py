@@ -33,7 +33,8 @@ def exp_appendix_average(cfg: ExperimentConfig) -> Table:
     for algorithm in ("snake_1", "snake_2", "snake_3"):
         for side in cfg.odd_sides:
             steps = sample_sort_steps(
-                algorithm, side, cfg.trials, seed=(cfg.seed, side, 13)
+                algorithm, side, cfg.trials, seed=(cfg.seed, side, 13),
+                backend=cfg.backend,
             )
             stats = summarize(steps)
             n_cells = side * side

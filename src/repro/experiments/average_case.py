@@ -59,7 +59,9 @@ def average_case_table(
     )
     table.add_note(claim)
     for side in cfg.even_sides:
-        steps = sample_sort_steps(algorithm, side, cfg.trials, seed=(cfg.seed, side))
+        steps = sample_sort_steps(
+            algorithm, side, cfg.trials, seed=(cfg.seed, side), backend=cfg.backend
+        )
         stats = summarize(steps)
         bound = bound_fn(side)
         n_cells = side * side

@@ -16,14 +16,28 @@ __all__ = ["ExperimentConfig"]
 
 @dataclass
 class ExperimentConfig:
-    """Knobs shared by every experiment."""
+    """Knobs shared by every experiment.
+
+    ``backend`` selects the execution backend for the Monte-Carlo samplers
+    (any name from :func:`repro.backends.available_backends`).  The
+    single-grid backends are orders of magnitude slower than the vectorized
+    default; they exist here for end-to-end cross-validation runs.
+    """
 
     scale: str = "quick"
     seed: int = 20260706
+    backend: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.scale not in ("quick", "full"):
             raise DimensionError(f"scale must be 'quick' or 'full', got {self.scale!r}")
+        from repro.backends import available_backends
+
+        if self.backend not in available_backends():
+            raise DimensionError(
+                f"unknown backend {self.backend!r}; "
+                f"available: {', '.join(available_backends())}"
+            )
 
     @property
     def even_sides(self) -> list[int]:

@@ -64,7 +64,8 @@ def exp_exact_tails(cfg: ExperimentConfig) -> Table:
     for theorem, algorithm, exact_fn, cheb_fn in _CASES:
         for side in sides:
             steps = sample_sort_steps(
-                algorithm, side, cfg.trials, seed=(cfg.seed, side, 91)
+                algorithm, side, cfg.trials, seed=(cfg.seed, side, 91),
+                backend=cfg.backend,
             )
             n_cells = side * side
             empirical = float(np.mean(steps <= float(gamma) * n_cells))
@@ -81,7 +82,8 @@ def exp_exact_tails(cfg: ExperimentConfig) -> Table:
     odd_sides = [s for s in cfg.odd_sides if s <= (13 if cfg.scale == "quick" else 27)]
     for side in odd_sides:
         steps = sample_sort_steps(
-            "snake_1", side, cfg.trials, seed=(cfg.seed, side, 92)
+            "snake_1", side, cfg.trials, seed=(cfg.seed, side, 92),
+            backend=cfg.backend,
         )
         n_cells = side * side
         empirical = float(np.mean(steps <= float(gamma) * n_cells))

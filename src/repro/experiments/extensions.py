@@ -66,7 +66,9 @@ def exp_constants(cfg: ExperimentConfig) -> Table:
     for name in ALGORITHM_NAMES:
         n_vals, means = [], []
         for side in sides:
-            steps = sample_sort_steps(name, side, cfg.trials, seed=(cfg.seed, side, 31))
+            steps = sample_sort_steps(name, side, cfg.trials,
+                                      seed=(cfg.seed, side, 31),
+                                      backend=cfg.backend)
             n_vals.append(side * side)
             means.append(float(np.mean(steps)))
         design = np.column_stack([n_vals, np.sqrt(n_vals)])
@@ -94,7 +96,8 @@ def exp_distribution(cfg: ExperimentConfig) -> Table:
     n_cells = side * side
     for name in ALGORITHM_NAMES:
         steps = sample_sort_steps(name, side, max(cfg.trials, 64),
-                                  seed=(cfg.seed, side, 32)) / n_cells
+                                  seed=(cfg.seed, side, 32),
+                                  backend=cfg.backend) / n_cells
         q05, q25, q50, q75, q95 = np.quantile(steps, [0.05, 0.25, 0.5, 0.75, 0.95])
         table.add_row(name, side, q05, q25, q50, q75, q95, (q95 - q05) / q50)
     return table

@@ -51,6 +51,7 @@ def exp_moments_row_major(cfg: ExperimentConfig) -> Table:
             cfg.moment_trials,
             _batched(first_column_zeros),
             seed=(cfg.seed, side, 1),
+            backend=cfg.backend,
         )
         stats = summarize(mc)
         exact = float(moments.e_Z1_row_first(n))
@@ -67,6 +68,7 @@ def exp_moments_row_major(cfg: ExperimentConfig) -> Table:
             cfg.moment_trials,
             _batched(m_statistic),
             seed=(cfg.seed, side, 2),
+            backend=cfg.backend,
         )
         stats_m = summarize(mc_m)
         lower = float(moments.e_M_lower_row_first_paper(n))
@@ -85,6 +87,7 @@ def exp_moments_row_major(cfg: ExperimentConfig) -> Table:
             _batched(first_column_zeros),
             num_steps=2,
             seed=(cfg.seed, side, 3),
+            backend=cfg.backend,
         )
         stats_cf = summarize(mc_cf)
         exact_cf = float(moments.e_Z1_col_first(n))
@@ -106,7 +109,7 @@ def exp_moments_snake(cfg: ExperimentConfig) -> Table:
     for side in cfg.even_sides:
         mc = sample_statistic_after_steps(
             "snake_1", side, cfg.moment_trials, _batched(z1_statistic),
-            seed=(cfg.seed, side, 4),
+            seed=(cfg.seed, side, 4), backend=cfg.backend,
         )
         stats = summarize(mc)
         exact = float(moments.e_Z1_0_snake1(side))
@@ -118,7 +121,7 @@ def exp_moments_snake(cfg: ExperimentConfig) -> Table:
         )
         mc_y = sample_statistic_after_steps(
             "snake_2", side, cfg.moment_trials, _batched(y1_statistic),
-            seed=(cfg.seed, side, 5),
+            seed=(cfg.seed, side, 5), backend=cfg.backend,
         )
         stats_y = summarize(mc_y)
         exact_y = float(moments.e_Y1_0_snake2(side))
@@ -131,7 +134,7 @@ def exp_moments_snake(cfg: ExperimentConfig) -> Table:
     for side in cfg.odd_sides:
         mc = sample_statistic_after_steps(
             "snake_1", side, cfg.moment_trials, _batched(z1_statistic),
-            seed=(cfg.seed, side, 6),
+            seed=(cfg.seed, side, 6), backend=cfg.backend,
         )
         stats = summarize(mc)
         exact = float(appendix.e_Z1_0_snake1_odd(side))
@@ -160,6 +163,7 @@ def exp_moments_variance(cfg: ExperimentConfig) -> Table:
         mc = sample_statistic_after_steps(
             "row_major_row_first", side, cfg.moment_trials,
             _batched(first_column_zeros), seed=(cfg.seed, side, 7),
+            backend=cfg.backend,
         )
         var_mc = float(np.var(mc, ddof=1))
         exact = float(moments.var_Z1_row_first(n))
@@ -169,7 +173,7 @@ def exp_moments_variance(cfg: ExperimentConfig) -> Table:
         )
         mc_s = sample_statistic_after_steps(
             "snake_1", side, cfg.moment_trials, _batched(z1_statistic),
-            seed=(cfg.seed, side, 8),
+            seed=(cfg.seed, side, 8), backend=cfg.backend,
         )
         var_s = float(np.var(mc_s, ddof=1))
         exact_s = float(moments.var_Z1_0_snake1(side))

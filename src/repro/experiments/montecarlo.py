@@ -13,7 +13,7 @@ from math import sqrt
 
 import numpy as np
 
-from repro.core.engine import default_step_cap, run_fixed_steps, run_until_sorted
+from repro.backends import Backend, get_backend, run_sort, run_steps, step_cap
 from repro.core.runner import resolve_algorithm
 from repro.core.schedule import Schedule
 from repro.errors import StepLimitExceeded
@@ -65,6 +65,14 @@ def summarize(values: np.ndarray) -> TrialStats:
     )
 
 
+def _draw_grids(side: int, batch: int, input_kind: str, rng) -> np.ndarray:
+    if input_kind == "permutation":
+        return random_permutation_grid(side, batch=batch, rng=rng)
+    if input_kind == "zero_one":
+        return random_zero_one_grid(side, batch=batch, rng=rng)
+    raise ValueError(f"unknown input_kind {input_kind!r}")
+
+
 def sample_sort_steps(
     algorithm: str | Schedule,
     side: int,
@@ -75,37 +83,50 @@ def sample_sort_steps(
     input_kind: str = "permutation",
     batch_size: int | None = None,
     observer: Observer | None = None,
+    backend: str | Backend = "vectorized",
 ) -> np.ndarray:
-    """Step counts over ``trials`` random inputs (batched execution).
+    """Step counts over ``trials`` random inputs.
 
     ``input_kind`` is ``"permutation"`` (random permutations of ``0..N-1``)
     or ``"zero_one"`` (the paper's random :math:`\\mathcal{A}^{01}`
     distribution).  Raises :class:`StepLimitExceeded` if any trial fails to
     finish — the algorithms have Θ(N) worst cases, so with the default cap
     this indicates a bug.
+
+    Any registered backend works.  Batch-capable backends advance every
+    trial's grid simultaneously; single-grid backends (the oracle, the mesh
+    machine) run trial by trial.  Grids are drawn in identical batched RNG
+    order either way, so the same ``seed`` yields the same inputs — and, as
+    the backends agree step-for-step, the same step counts — on every
+    backend.
     """
     rng = as_generator(seed)
+    be = get_backend(backend)
+    schedule = resolve_algorithm(algorithm)
     if max_steps is None:
-        max_steps = default_step_cap(side)
+        max_steps = step_cap(side)
     if batch_size is None:
         batch_size = min(trials, 256)
     out = np.empty(trials, dtype=np.int64)
     done = 0
     while done < trials:
         batch = min(batch_size, trials - done)
-        if input_kind == "permutation":
-            grids = random_permutation_grid(side, batch=batch, rng=rng)
-        elif input_kind == "zero_one":
-            grids = random_zero_one_grid(side, batch=batch, rng=rng)
+        grids = _draw_grids(side, batch, input_kind, rng)
+        if be.supports_batch:
+            outcome = run_sort(
+                be, schedule, grids, max_steps=max_steps, observer=observer
+            )
+            if not outcome.all_completed:
+                raise StepLimitExceeded(max_steps, int(np.sum(~outcome.completed)))
+            out[done : done + batch] = outcome.steps
         else:
-            raise ValueError(f"unknown input_kind {input_kind!r}")
-        outcome = run_until_sorted(
-            resolve_algorithm(algorithm), grids, max_steps=max_steps,
-            observer=observer,
-        )
-        if not outcome.all_completed:
-            raise StepLimitExceeded(max_steps, int(np.sum(~outcome.completed)))
-        out[done : done + batch] = outcome.steps
+            for i in range(batch):
+                outcome = run_sort(
+                    be, schedule, grids[i], max_steps=max_steps, observer=observer
+                )
+                if not outcome.all_completed:
+                    raise StepLimitExceeded(max_steps, 1)
+                out[done + i] = outcome.steps_scalar()
         done += batch
     return out
 
@@ -121,14 +142,18 @@ def sample_statistic_after_steps(
     input_kind: str = "zero_one",
     batch_size: int | None = None,
     observer: Observer | None = None,
+    backend: str | Backend = "vectorized",
 ) -> np.ndarray:
     """Sample ``statistic(grid_after_num_steps)`` over random inputs.
 
     ``statistic`` must accept a batched ``(..., side, side)`` array and
     return a batch of numbers (all the trackers in :mod:`repro.zeroone` do).
-    Used for the moment experiments (E-L4, E-L9, E-L11, E-L14).
+    Used for the moment experiments (E-L4, E-L9, E-L11, E-L14).  Single-grid
+    backends run trial by trial over the same batched grid draws, then the
+    statistic is applied to the re-stacked batch.
     """
     rng = as_generator(seed)
+    be = get_backend(backend)
     if batch_size is None:
         batch_size = min(trials, 512)
     schedule = resolve_algorithm(algorithm)
@@ -136,13 +161,14 @@ def sample_statistic_after_steps(
     done = 0
     while done < trials:
         batch = min(batch_size, trials - done)
-        if input_kind == "permutation":
-            grids = random_permutation_grid(side, batch=batch, rng=rng)
-        elif input_kind == "zero_one":
-            grids = random_zero_one_grid(side, batch=batch, rng=rng)
+        grids = _draw_grids(side, batch, input_kind, rng)
+        if be.supports_batch:
+            after = run_steps(be, schedule, grids, num_steps, observer=observer)
         else:
-            raise ValueError(f"unknown input_kind {input_kind!r}")
-        after = run_fixed_steps(schedule, grids, num_steps, observer=observer)
+            after = np.stack([
+                run_steps(be, schedule, grids[i], num_steps, observer=observer)
+                for i in range(batch)
+            ])
         chunks.append(np.asarray(statistic(after)))
         done += batch
     return np.concatenate([np.atleast_1d(c) for c in chunks])

@@ -43,7 +43,9 @@ def exp_scaling(cfg: ExperimentConfig) -> Table:
         n_cells = side * side
         norm_shear = side * max(math.log2(side), 1.0)
         for name in ALGORITHM_NAMES:
-            steps = sample_sort_steps(name, side, cfg.trials, seed=(cfg.seed, side, 21))
+            steps = sample_sort_steps(name, side, cfg.trials,
+                                      seed=(cfg.seed, side, 21),
+                                      backend=cfg.backend)
             stats = summarize(steps)
             table.add_row(
                 name, side, n_cells, stats.mean,
@@ -51,7 +53,8 @@ def exp_scaling(cfg: ExperimentConfig) -> Table:
                 diameter_lower_bound(side),
             )
         shear_steps = sample_sort_steps(
-            shearsort(side), side, cfg.trials, seed=(cfg.seed, side, 22)
+            shearsort(side), side, cfg.trials, seed=(cfg.seed, side, 22),
+            backend=cfg.backend,
         )
         shear_stats = summarize(shear_steps)
         table.add_row(

@@ -52,7 +52,8 @@ def exp_tails(cfg: ExperimentConfig) -> Table:
     for algorithm, theorem, salt, bound_fn, gammas in _TAIL_CASES:
         for side in cfg.even_sides:
             steps = sample_sort_steps(
-                algorithm, side, cfg.trials, seed=(cfg.seed, side, salt)
+                algorithm, side, cfg.trials, seed=(cfg.seed, side, salt),
+                backend=cfg.backend,
             )
             n_cells = side * side
             for gamma in gammas:
@@ -75,7 +76,8 @@ def exp_theorem12_tail(cfg: ExperimentConfig) -> Table:
     )
     for side in cfg.even_sides + cfg.odd_sides:
         steps = sample_sort_steps(
-            "snake_3", side, cfg.trials, seed=(cfg.seed, side, 12)
+            "snake_3", side, cfg.trials, seed=(cfg.seed, side, 12),
+            backend=cfg.backend,
         )
         n_cells = side * side
         for delta in (0.25, 0.5, 1.0):

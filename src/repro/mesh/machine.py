@@ -19,7 +19,6 @@ cross-validation tests.
 
 from __future__ import annotations
 
-import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -27,12 +26,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.algorithms import check_side
-from repro.core.orders import is_sorted_grid, target_grid
+from repro.core.orders import is_sorted_grid
 from repro.core.schedule import Schedule, comparator_pairs, validate_schedule
-from repro.errors import DimensionError, MissingWireError, StepLimitExceeded
+from repro.errors import DimensionError, MissingWireError
 from repro.mesh.topology import Cell, MeshTopology
 from repro.obs.context import resolve_observer
-from repro.obs.events import CycleEvent, Observer, RunEnd, RunStart, StepEvent
+from repro.obs.events import Observer
 
 __all__ = ["LinkStats", "MeshMachine", "mesh_sort"]
 
@@ -104,9 +103,18 @@ class MeshMachine:
                         "no wire between them"
                     )
 
-    def step(self) -> None:
+    def step(self) -> int:
         """Execute the next schedule step: every scheduled pair exchanges
-        values over its wire and keeps the smaller at the designated end."""
+        values over its wire and keeps the smaller at the designated end.
+
+        Returns the number of swaps the step performed.  When the machine
+        is stepped manually with an attached observer, step/cycle events are
+        dispatched through the driver's emit helpers; when the machine runs
+        under the unified driver (``mesh_sort`` or the ``"mesh"`` backend),
+        the driver is the sole emitter and ``self.observer`` is ``None``.
+        """
+        from repro.backends.driver import emit_cycle, emit_step
+
         self.t += 1
         pairs = self._pairs_per_step[(self.t - 1) % len(self._pairs_per_step)]
         mem = self.memory
@@ -123,14 +131,17 @@ class MeshMachine:
         if obs is not None:
             # Dispatched only after every exchange of the step has landed,
             # so a raising observer cannot leave the memories half-stepped.
-            obs.on_step(StepEvent(
-                t=self.t, grid=None, swaps=swaps, comparisons=len(pairs)
-            ))
+            emit_step(obs, t=self.t, grid=None, swaps=swaps, comparisons=len(pairs))
             cycle_len = len(self._pairs_per_step)
             if self.t % cycle_len == 0:
-                obs.on_cycle(CycleEvent(
-                    cycle=self.t // cycle_len, t=self.t, grid=self.as_array()
-                ))
+                emit_cycle(
+                    obs, cycle=self.t // cycle_len, t=self.t, grid=self.as_array()
+                )
+        return swaps
+
+    def comparisons_at(self, t: int) -> int:
+        """Number of comparator firings in (1-based) schedule step ``t``."""
+        return len(self._pairs_per_step[(t - 1) % len(self._pairs_per_step)])
 
     def run(self, num_steps: int) -> None:
         for _ in range(num_steps):
@@ -158,38 +169,22 @@ def mesh_sort(
 
     Returns ``(t_f, machine)``; the machine exposes the final memories and
     the per-wire traffic statistics.  Raises
-    :class:`~repro.errors.StepLimitExceeded` if the cap is hit.  The machine
-    dispatches per-step events itself; this wrapper adds the run start/end
-    envelope around them.
+    :class:`~repro.errors.StepLimitExceeded` if the cap is hit.
+    Compatibility shim over :func:`repro.backends.run_sort` on the
+    ``"mesh"`` backend (a private backend instance carries ``topology``
+    through and hands the machine back).
     """
-    machine = MeshMachine(schedule, grid, topology=topology, observer=observer)
-    obs = machine.observer
-    if obs is not None:
-        obs.on_run_start(RunStart(
-            executor="mesh",
-            algorithm=schedule.name,
-            side=machine.side,
-            max_steps=max_steps,
-            order=schedule.order,
-        ))
-    clock = time.perf_counter()
+    from repro.backends.driver import run_sort
+    from repro.backends.mesh import MeshBackend
 
-    def finish(t_f: int, completed: bool) -> None:
-        if obs is not None:
-            obs.on_run_end(RunEnd(
-                steps=t_f if completed else -1,
-                completed=completed,
-                wall_time=time.perf_counter() - clock,
-            ))
-
-    target = target_grid(machine.as_array(), machine.side, schedule.order)
-    if np.array_equal(machine.as_array(), target):
-        finish(0, True)
-        return 0, machine
-    for t in range(1, max_steps + 1):
-        machine.step()
-        if np.array_equal(machine.as_array(), target):
-            finish(t, True)
-            return t, machine
-    finish(-1, False)
-    raise StepLimitExceeded(max_steps, 1)
+    backend = MeshBackend(topology=topology)
+    outcome = run_sort(
+        backend,
+        schedule,
+        grid,
+        max_steps=max_steps,
+        raise_on_cap=True,
+        observer=observer,
+    )
+    assert backend.last_machine is not None
+    return outcome.steps_scalar(), backend.last_machine

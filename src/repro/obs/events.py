@@ -1,10 +1,11 @@
 """Event model of the observability subsystem.
 
-Every executor in the package — the vectorized engine
-(:mod:`repro.core.engine`), the pure-Python oracle
-(:mod:`repro.core.reference`), the processor-level
-:class:`~repro.mesh.machine.MeshMachine`, and the diagnostics runner — can
-dispatch the same four lifecycle events to an :class:`Observer`:
+Every backend — vectorized, reference, mesh, rect — reports through the
+same four lifecycle events, dispatched from a single site: the unified
+run-loop driver (:mod:`repro.backends.driver`).  The diagnostics runner and
+the mesh machine's manual-stepping mode route through the driver's
+``emit_*`` helpers as well, so an :class:`Observer` sees one schema no
+matter how a run was executed:
 
 ``on_run_start``
     Once per run, before the first step, with the run's static facts
@@ -47,7 +48,12 @@ __all__ = [
 
 @dataclass(frozen=True)
 class RunStart:
-    """Static facts of a run, dispatched before the first step."""
+    """Static facts of a run, dispatched before the first step.
+
+    ``rows``/``cols`` carry the mesh shape for rectangular runs; they
+    default to ``side`` so square-only constructions keep working (and
+    ``side`` mirrors ``rows`` for historical consumers).
+    """
 
     executor: str
     algorithm: str
@@ -55,6 +61,14 @@ class RunStart:
     batch_shape: tuple[int, ...] = ()
     max_steps: int | None = None
     order: str = ""
+    rows: int = -1
+    cols: int = -1
+
+    def __post_init__(self) -> None:
+        if self.rows < 0:
+            object.__setattr__(self, "rows", self.side)
+        if self.cols < 0:
+            object.__setattr__(self, "cols", self.side)
 
 
 @dataclass(frozen=True)
@@ -102,7 +116,14 @@ class Observer:
 
     Executors duck-type against this interface, so any object with the four
     ``on_*`` methods works; subclassing just spares you the boilerplate.
+
+    ``wants_swap_detail`` tells the driver whether to pay for per-step swap
+    counts on backends where accounting them costs a full grid diff
+    (cell-level backends report swaps regardless).  Observers that consume
+    ``StepEvent.swaps`` should set it to True.
     """
+
+    wants_swap_detail = False
 
     def on_run_start(self, event: RunStart) -> None:  # pragma: no cover - no-op
         pass
@@ -122,6 +143,12 @@ class CompositeObserver(Observer):
 
     def __init__(self, observers: list[Observer] | tuple[Observer, ...]):
         self.observers = list(observers)
+
+    @property
+    def wants_swap_detail(self) -> bool:
+        return any(
+            getattr(obs, "wants_swap_detail", False) for obs in self.observers
+        )
 
     def on_run_start(self, event: RunStart) -> None:
         for obs in self.observers:
@@ -144,8 +171,11 @@ class RecordingObserver(Observer):
     """Keep every event in memory — the test-suite workhorse.
 
     Grids attached to step/cycle events are live buffers, so they are
-    snapshotted (copied) on receipt when ``copy_grids`` is true.
+    snapshotted (copied) on receipt when ``copy_grids`` is true.  Recording
+    is for inspection, so it opts into per-step swap detail.
     """
+
+    wants_swap_detail = True
 
     def __init__(self, *, copy_grids: bool = False):
         self.copy_grids = copy_grids

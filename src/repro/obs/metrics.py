@@ -288,9 +288,17 @@ class MetricsObserver(Observer):
     ``repro_steps_total``, ``repro_swaps_total``,
     ``repro_comparisons_total``, ``repro_step_swaps`` (histogram),
     ``repro_run_steps`` (histogram), ``repro_run_seconds`` (timer).
+
+    Swap tallies on the vectorized backends require diffing the whole grid
+    every step, so they are off by default there — run/step counts and
+    wall-time stay cheap.  Pass ``swap_detail=True`` to opt into exact
+    per-step swap metrics (cell-level backends report swaps either way).
     """
 
-    def __init__(self, registry: MetricsRegistry | None = None):
+    def __init__(
+        self, registry: MetricsRegistry | None = None, *, swap_detail: bool = False
+    ):
+        self.wants_swap_detail = bool(swap_detail)
         self.registry = registry if registry is not None else MetricsRegistry()
         reg = self.registry
         self._runs = reg.counter("repro_runs_total", "executor runs observed")

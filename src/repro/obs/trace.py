@@ -12,7 +12,7 @@ plus per-event fields:
 ========== ==============================================================
 event      fields
 ========== ==============================================================
-run_start  executor, algorithm, side, batch_shape, max_steps, order
+run_start  executor, algorithm, side, rows?, cols?, batch_shape, max_steps, order
 step       t, swaps?, comparisons?, grid_digest?
 cycle      cycle, t, grid_digest?, info?
 run_end    steps (int | list | null), completed (bool | null), wall_time
@@ -43,7 +43,10 @@ __all__ = [
 TRACE_SCHEMA_VERSION = 1
 
 _EVENT_FIELDS: dict[str, set[str]] = {
-    "run_start": {"executor", "algorithm", "side", "batch_shape", "max_steps", "order"},
+    "run_start": {
+        "executor", "algorithm", "side", "rows", "cols",
+        "batch_shape", "max_steps", "order",
+    },
     "step": {"t", "swaps", "comparisons", "grid_digest"},
     "cycle": {"cycle", "t", "grid_digest", "info"},
     "run_end": {"steps", "completed", "wall_time"},
@@ -86,6 +89,8 @@ class JsonlTraceSink(Observer):
     digesting is too much.
     """
 
+    wants_swap_detail = True
+
     def __init__(self, path: str | Path, *, digest_grids: bool = True):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -108,6 +113,9 @@ class JsonlTraceSink(Observer):
                 "executor": event.executor,
                 "algorithm": event.algorithm,
                 "side": event.side,
+                # Only worth a field when the mesh is not square.
+                "rows": event.rows if event.rows != event.cols else None,
+                "cols": event.cols if event.rows != event.cols else None,
                 "batch_shape": list(event.batch_shape),
                 "max_steps": event.max_steps,
                 "order": event.order or None,

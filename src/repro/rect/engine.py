@@ -1,141 +1,53 @@
-"""Executor for the schedule IR on rectangular meshes.
+"""Rectangular-mesh executor — compatibility shim over the backend layer.
 
-Reuses :class:`~repro.core.schedule.LineOp` / :class:`WrapOp` semantics with
-per-axis line lengths: a ``row`` op's pairing is governed by the number of
-columns, a ``col`` op's by the number of rows, and the wrap comparisons run
-down the last/first columns.  On square meshes this executor is verified to
-agree cell-for-cell with :mod:`repro.core.engine`.
+The rectangular kernels are now the general case of the unified compiler in
+:mod:`repro.backends.compile` (square meshes are ``rows == cols``), and the
+run loop is the shared driver.  ``RectSortOutcome`` is the unified
+:class:`~repro.backends.SortOutcome` — it always carried ``(rows, cols)``
+implicitly through ``final``; now the fields are explicit.
+
+New code should prefer the backend layer directly::
+
+    from repro.backends import run_sort
+    outcome = run_sort("rect", schedule, grid)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
-
 import numpy as np
 
-from repro.core.schedule import (
-    FORWARD,
-    LineOp,
-    Op,
-    Schedule,
-    WrapOp,
-    lines_slice,
-    pair_count,
-)
-from repro.errors import DimensionError, StepLimitExceeded, UnsupportedMeshError
-from repro.rect.orders import rect_target_grid, validate_rect
+from repro.backends.base import SortOutcome, step_cap
+from repro.backends.compile import CompiledSchedule as _UnifiedCompiledSchedule
+from repro.backends.driver import run_sort
+from repro.core.schedule import Schedule
+from repro.obs.events import Observer
 
-__all__ = ["RectCompiledSchedule", "RectSortOutcome", "rect_run_until_sorted", "rect_step_cap"]
+__all__ = [
+    "RectCompiledSchedule",
+    "RectSortOutcome",
+    "rect_run_until_sorted",
+    "rect_step_cap",
+]
 
-
-def _compile_line_op(op: LineOp, rows: int, cols: int) -> Callable[[np.ndarray], None]:
-    length = cols if op.axis == "row" else rows
-    p = pair_count(op.offset, length)
-    ls = lines_slice(op.lines)
-    lo_slice = slice(op.offset, op.offset + 2 * p, 2)
-    hi_slice = slice(op.offset + 1, op.offset + 2 * p, 2)
-    forward = op.direction == FORWARD
-
-    if p == 0:
-        def noop(grid: np.ndarray) -> None:
-            return
-        return noop
-
-    if op.axis == "row":
-        def kernel(grid: np.ndarray) -> None:
-            a = grid[..., ls, lo_slice]
-            b = grid[..., ls, hi_slice]
-            lo = np.minimum(a, b)
-            hi = np.maximum(a, b)
-            if forward:
-                a[...] = lo
-                b[...] = hi
-            else:
-                a[...] = hi
-                b[...] = lo
-    else:
-        def kernel(grid: np.ndarray) -> None:
-            a = grid[..., lo_slice, ls]
-            b = grid[..., hi_slice, ls]
-            lo = np.minimum(a, b)
-            hi = np.maximum(a, b)
-            if forward:
-                a[...] = lo
-                b[...] = hi
-            else:
-                a[...] = hi
-                b[...] = lo
-
-    return kernel
+#: The unified outcome type absorbs the historical rect-only outcome.
+RectSortOutcome = SortOutcome
 
 
-def _compile_wrap(rows: int, cols: int) -> Callable[[np.ndarray], None]:
-    def kernel(grid: np.ndarray) -> None:
-        a = grid[..., : rows - 1, cols - 1]
-        b = grid[..., 1:rows, 0]
-        lo = np.minimum(a, b)
-        hi = np.maximum(a, b)
-        a[...] = lo
-        b[...] = hi
+class RectCompiledSchedule(_UnifiedCompiledSchedule):
+    """A schedule specialized to a ``rows x cols`` mesh.
 
-    return kernel
-
-
-def _compile_op(op: Op, rows: int, cols: int) -> Callable[[np.ndarray], None]:
-    if isinstance(op, WrapOp):
-        return _compile_wrap(rows, cols)
-    return _compile_line_op(op, rows, cols)
-
-
-class RectCompiledSchedule:
-    """A schedule specialized to a ``rows x cols`` mesh."""
+    Kept for compatibility; prefer :func:`repro.backends.compiled_schedule`,
+    which memoizes compilations.
+    """
 
     def __init__(self, schedule: Schedule, rows: int, cols: int):
-        if rows < 2 or cols < 2:
-            raise UnsupportedMeshError(
-                f"rectangular meshes need both dimensions >= 2, got {(rows, cols)}"
-            )
-        if schedule.requires_even_side and cols % 2 != 0:
-            # the wrap comparisons collide with the even row step in the
-            # last column exactly when the column count is odd (the same
-            # structural constraint as the paper's sqrt(N) = 2n).
-            raise UnsupportedMeshError(
-                f"algorithm {schedule.name!r} requires an even number of "
-                f"columns; got {cols}"
-            )
-        self.schedule = schedule
-        self.rows, self.cols = int(rows), int(cols)
-        self._steps = [
-            [_compile_op(op, rows, cols) for op in step] for step in schedule.steps
-        ]
-
-    def apply_step(self, grid: np.ndarray, t: int) -> None:
-        if t < 1:
-            raise DimensionError(f"step times are 1-based, got {t}")
-        for kernel in self._steps[(t - 1) % len(self._steps)]:
-            kernel(grid)
-
-
-@dataclass
-class RectSortOutcome:
-    """Result of :func:`rect_run_until_sorted` (mirrors ``SortOutcome``)."""
-
-    steps: np.ndarray
-    completed: np.ndarray
-    final: np.ndarray
-    max_steps: int
-
-    def steps_scalar(self) -> int:
-        if self.steps.ndim != 0:
-            raise DimensionError("steps_scalar() on a batched outcome")
-        return int(self.steps)
+        super().__init__(schedule, rows, cols)
 
 
 def rect_step_cap(rows: int, cols: int) -> int:
-    """Generous cap scaled to N = rows*cols."""
-    n_cells = rows * cols
-    return 8 * n_cells + 16 * (rows + cols) + 64
+    """Generous cap scaled to N = rows*cols (alias of
+    :func:`repro.backends.step_cap`)."""
+    return step_cap(rows, cols)
 
 
 def rect_run_until_sorted(
@@ -144,29 +56,19 @@ def rect_run_until_sorted(
     *,
     max_steps: int | None = None,
     raise_on_cap: bool = False,
-) -> RectSortOutcome:
-    """Run a schedule to completion on (batched) rectangular grids."""
-    work = np.array(grid, copy=True)
-    rows, cols = validate_rect(work)
-    compiled = RectCompiledSchedule(schedule, rows, cols)
-    if max_steps is None:
-        max_steps = rect_step_cap(rows, cols)
-    target = rect_target_grid(work, rows, cols, schedule.order)
-    steps = np.full(work.shape[:-2], -1, dtype=np.int64)
-    done = np.all(work == target, axis=(-2, -1))
-    steps = np.where(done, 0, steps)
-    t = 0
-    while t < max_steps and not np.all(done):
-        t += 1
-        compiled.apply_step(work, t)
-        now = np.all(work == target, axis=(-2, -1))
-        newly = now & ~done
-        if np.any(newly):
-            steps = np.where(newly, t, steps)
-            done = done | now
-    completed = np.asarray(done)
-    if raise_on_cap and not np.all(completed):
-        raise StepLimitExceeded(max_steps, int(np.sum(~completed)))
-    return RectSortOutcome(
-        steps=np.asarray(steps), completed=completed, final=work, max_steps=max_steps
+    observer: Observer | None = None,
+) -> SortOutcome:
+    """Run a schedule to completion on (batched) rectangular grids.
+
+    Alias for :func:`repro.backends.run_sort` on the ``"rect"`` backend;
+    the historical signature gains an ``observer`` parameter now that the
+    rect path runs through the shared instrumented driver.
+    """
+    return run_sort(
+        "rect",
+        schedule,
+        grid,
+        max_steps=max_steps,
+        raise_on_cap=raise_on_cap,
+        observer=observer,
     )

@@ -16,13 +16,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.engine import CompiledSchedule, default_step_cap
+from repro.backends.compile import compiled_schedule
+from repro.backends.driver import emit_cycle, emit_run_end, emit_run_start, emit_step
+from repro.core.engine import default_step_cap
 from repro.core.orders import linearize, target_grid, validate_grid
 from repro.core.runner import resolve_algorithm
 from repro.core.schedule import Schedule
 from repro.errors import DimensionError
 from repro.obs.context import resolve_observer
-from repro.obs.events import CycleEvent, Observer, RunEnd, RunStart, StepEvent
+from repro.obs.events import Observer
 from repro.zeroone.smallest import min_cell
 from repro.zeroone.threshold import threshold_matrix
 from repro.zeroone.trackers import y1_statistic, z1_statistic
@@ -112,7 +114,7 @@ def run_diagnostics(
         raise DimensionError("run_diagnostics expects a single grid")
     if max_steps is None:
         max_steps = default_step_cap(side)
-    compiled = CompiledSchedule(schedule, side)
+    compiled = compiled_schedule(schedule, side)
     target = target_grid(work, side, schedule.order)
     cycle = len(schedule.steps)
     records: list[CycleRecord] = []
@@ -131,13 +133,14 @@ def run_diagnostics(
         )
 
     if obs is not None:
-        obs.on_run_start(RunStart(
+        emit_run_start(
+            obs,
             executor="diagnostics",
             algorithm=schedule.name,
             side=side,
             max_steps=max_steps,
             order=schedule.order,
-        ))
+        )
     clock = time.perf_counter()
     records.append(snapshot(0))
     t = 0
@@ -146,11 +149,12 @@ def run_diagnostics(
             t += 1
             compiled.apply_step(work, t)
             if obs is not None:
-                obs.on_step(StepEvent(t=t, grid=work))
+                emit_step(obs, t=t, grid=work)
         rec = snapshot(t)
         records.append(rec)
         if obs is not None:
-            obs.on_cycle(CycleEvent(
+            emit_cycle(
+                obs,
                 cycle=t // cycle,
                 t=t,
                 grid=work,
@@ -161,15 +165,16 @@ def run_diagnostics(
                     "min_cell": list(rec.min_cell),
                     "sorted": rec.sorted,
                 },
-            ))
+            )
         if rec.sorted:
             break
     if obs is not None:
-        obs.on_run_end(RunEnd(
+        emit_run_end(
+            obs,
             steps=records[-1].t if records[-1].sorted else -1,
             completed=records[-1].sorted,
             wall_time=time.perf_counter() - clock,
-        ))
+        )
     return records
 
 

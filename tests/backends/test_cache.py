@@ -1,0 +1,94 @@
+"""Compiled-schedule LRU cache: hits, misses, keying, eviction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    CompiledSchedule,
+    compiled_schedule,
+    run_sort,
+    schedule_cache_clear,
+    schedule_cache_info,
+)
+from repro.core.algorithms import get_algorithm
+from repro.randomness import random_permutation_grid
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    schedule_cache_clear()
+    yield
+    schedule_cache_clear()
+
+
+def test_repeat_compilation_hits_cache():
+    schedule = get_algorithm("snake_1")
+    first = compiled_schedule(schedule, 6)
+    info = schedule_cache_info()
+    assert (info.hits, info.misses, info.currsize) == (0, 1, 1)
+    second = compiled_schedule(schedule, 6)
+    assert second is first
+    info = schedule_cache_info()
+    assert (info.hits, info.misses, info.currsize) == (1, 1, 1)
+
+
+def test_cache_keyed_by_algorithm_and_shape():
+    snake = get_algorithm("snake_1")
+    row = get_algorithm("row_major_row_first")
+    a = compiled_schedule(snake, 6)
+    b = compiled_schedule(snake, 8)
+    c = compiled_schedule(row, 6)
+    d = compiled_schedule(snake, 6, 8)  # rectangle: distinct from the square
+    assert len({id(x) for x in (a, b, c, d)}) == 4
+    assert schedule_cache_info().currsize == 4
+    assert compiled_schedule(snake, 6, 8) is d
+
+
+def test_square_is_explicit_cols_equal_rows():
+    schedule = get_algorithm("snake_1")
+    assert compiled_schedule(schedule, 6) is compiled_schedule(schedule, 6, 6)
+
+
+def test_direct_construction_bypasses_cache():
+    schedule = get_algorithm("snake_1")
+    cached = compiled_schedule(schedule, 6)
+    fresh = CompiledSchedule(schedule, 6)
+    assert fresh is not cached
+    assert schedule_cache_info().currsize == 1
+
+
+def test_structurally_equal_schedules_share_an_entry():
+    a = get_algorithm("snake_1")
+    b = get_algorithm("snake_1")
+    compiled_schedule(a, 6)
+    compiled_schedule(b, 6)
+    info = schedule_cache_info()
+    assert info.misses == 1 and info.hits == 1
+
+
+def test_driver_runs_reuse_compilations(rng):
+    schedule = get_algorithm("row_major_row_first")
+    for _ in range(4):
+        run_sort("vectorized", schedule, random_permutation_grid(6, rng=rng))
+    info = schedule_cache_info()
+    assert info.misses == 1
+    assert info.hits >= 3
+
+
+def test_clear_resets_statistics():
+    compiled_schedule(get_algorithm("snake_1"), 6)
+    schedule_cache_clear()
+    assert schedule_cache_info() == (0, 0, schedule_cache_info().maxsize, 0)
+
+
+def test_cached_compilation_still_sorts(rng):
+    schedule = get_algorithm("snake_1")
+    grid = random_permutation_grid(6, rng=rng)
+    work = grid.copy()
+    compiled = compiled_schedule(schedule, 6)
+    compiled.run(work, 8)
+    again = grid.copy()
+    compiled_schedule(schedule, 6).run(again, 8)
+    np.testing.assert_array_equal(work, again)

@@ -1,0 +1,107 @@
+"""Every registered backend must agree with the vectorized kernels.
+
+These are the shared cross-validation sweeps of the unified API: whatever a
+backend does internally (strided NumPy kernels, a pure-Python oracle, a
+processor-level machine, the rectangular compiler), ``run_sort`` and
+``run_steps`` must produce identical step counts and identical grids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import available_backends, get_backend, run_sort, run_steps
+from repro.core.algorithms import ALGORITHM_NAMES, get_algorithm
+from repro.errors import DimensionError, StepLimitExceeded
+from repro.randomness import random_permutation_grid
+
+BACKENDS = available_backends()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", ALGORITHM_NAMES)
+def test_backends_agree_on_sort(name, backend, rng):
+    side = 6
+    grid = random_permutation_grid(side, rng=rng)
+    schedule = get_algorithm(name)
+    expected = run_sort("vectorized", schedule, grid)
+    outcome = run_sort(backend, schedule, grid)
+    assert outcome.backend == backend
+    assert outcome.all_completed
+    assert outcome.steps_scalar() == expected.steps_scalar()
+    np.testing.assert_array_equal(outcome.final, expected.final)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", ALGORITHM_NAMES)
+def test_backends_agree_stepwise(name, backend, rng):
+    side = 6
+    grid = random_permutation_grid(side, rng=rng)
+    schedule = get_algorithm(name)
+    for t in (1, 2, 3, 4, 7, 12):
+        np.testing.assert_array_equal(
+            run_steps(backend, schedule, grid, t),
+            run_steps("vectorized", schedule, grid, t),
+        )
+
+
+@pytest.mark.parametrize("name", ALGORITHM_NAMES)
+def test_rect_matches_vectorized_cell_for_cell_on_square_mesh(name, rng):
+    """The square kernels are the rows == cols case of the rect compiler."""
+    side = 6
+    grid = random_permutation_grid(side, rng=rng)
+    schedule = get_algorithm(name)
+    cycle = len(schedule.steps)
+    for t in range(1, 2 * cycle + 1):
+        np.testing.assert_array_equal(
+            run_steps("rect", schedule, grid, t),
+            run_steps("vectorized", schedule, grid, t),
+        )
+    r = run_sort("rect", schedule, grid)
+    v = run_sort("vectorized", schedule, grid)
+    assert r.steps_scalar() == v.steps_scalar()
+    assert (r.rows, r.cols) == (v.rows, v.cols) == (side, side)
+    np.testing.assert_array_equal(r.final, v.final)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sorted_input_reports_zero_steps(backend):
+    schedule = get_algorithm("row_major_row_first")
+    target = np.arange(16, dtype=np.int64).reshape(4, 4)
+    outcome = run_sort(backend, schedule, target)
+    assert outcome.steps_scalar() == 0
+    assert outcome.all_completed
+    np.testing.assert_array_equal(outcome.final, target)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cap_behaviour_is_uniform(backend, rng):
+    schedule = get_algorithm("snake_1")
+    grid = random_permutation_grid(6, rng=rng)
+    outcome = run_sort(backend, schedule, grid, max_steps=1)
+    assert not outcome.all_completed
+    assert outcome.steps_scalar() == -1
+    with pytest.raises(StepLimitExceeded):
+        run_sort(backend, schedule, grid, max_steps=1, raise_on_cap=True)
+
+
+def test_single_grid_backends_reject_batches(rng):
+    grids = random_permutation_grid(4, batch=3, rng=rng)
+    schedule = get_algorithm("snake_1")
+    for name in ("reference", "mesh"):
+        be = get_backend(name)
+        assert not be.supports_batch
+        with pytest.raises(DimensionError):
+            run_sort(name, schedule, grids)
+
+
+def test_batch_backends_match_per_grid_runs(rng):
+    schedule = get_algorithm("snake_2")
+    grids = random_permutation_grid(6, batch=5, rng=rng)
+    batched = run_sort("vectorized", schedule, grids)
+    assert batched.steps.shape == (5,)
+    for i in range(5):
+        single = run_sort("vectorized", schedule, grids[i])
+        assert batched.steps[i] == single.steps_scalar()
+        np.testing.assert_array_equal(batched.final[i], single.final)

@@ -1,8 +1,10 @@
 """Cross-validation: vectorized engine vs pure-Python oracle vs mesh machine.
 
-All three executors interpret the same schedule IR; on identical inputs they
-must agree cell-for-cell after every step and report identical completion
-times.
+All executors interpret the same schedule IR; on identical inputs they must
+agree cell-for-cell after every step and report identical completion times.
+The property test sweeps every backend registered in the unified backend
+layer (``repro.backends``), so a newly registered backend is automatically
+cross-validated against the vectorized kernels.
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.backends import available_backends, run_sort, run_steps
 from repro.core.algorithms import ALGORITHM_NAMES, get_algorithm
 from repro.core.engine import default_step_cap, run_fixed_steps, run_until_sorted
 from repro.core.reference import ReferenceMachine, reference_sort
@@ -45,6 +48,7 @@ def test_numpy_vs_mesh_machine_stepwise(name, rng):
         np.testing.assert_array_equal(machine.as_array(), vec)
 
 
+@pytest.mark.parametrize("backend", available_backends())
 @given(
     name=st.sampled_from(ALGORITHM_NAMES),
     side=st.sampled_from([4, 5, 6]),
@@ -52,15 +56,14 @@ def test_numpy_vs_mesh_machine_stepwise(name, rng):
     steps=st.integers(min_value=1, max_value=12),
 )
 @settings(max_examples=30)
-def test_engines_agree_property(name, side, seed, steps):
+def test_engines_agree_property(backend, name, side, seed, steps):
     schedule = get_algorithm(name)
     if schedule.requires_even_side and side % 2:
         side += 1
     grid = _grid_for(name, side, seed)
-    ref = ReferenceMachine(schedule, grid)
-    ref.run(steps)
+    out = run_steps(backend, schedule, grid, steps)
     vec = run_fixed_steps(schedule, grid, steps)
-    np.testing.assert_array_equal(ref.as_array(), vec)
+    np.testing.assert_array_equal(out, vec)
 
 
 @pytest.mark.parametrize("name", ALGORITHM_NAMES)
@@ -73,3 +76,13 @@ def test_completion_times_agree(name, rng):
     t_ref, _ = reference_sort(schedule, grid, max_steps=cap)
     t_mesh, _ = mesh_sort(schedule, grid, max_steps=cap)
     assert t_vec == t_ref == t_mesh
+
+
+@pytest.mark.parametrize("backend", available_backends())
+@pytest.mark.parametrize("name", ALGORITHM_NAMES)
+def test_completion_times_agree_unified(name, backend, rng):
+    side = 6
+    grid = random_permutation_grid(side, rng=rng)
+    schedule = get_algorithm(name)
+    expected = run_until_sorted(schedule, grid).steps_scalar()
+    assert run_sort(backend, schedule, grid).steps_scalar() == expected

@@ -107,7 +107,7 @@ class TestExporters:
 
 class TestMetricsObserver:
     def test_engine_run_tallies(self):
-        obs = MetricsObserver()
+        obs = MetricsObserver(swap_detail=True)
         outcome = run_until_sorted(
             get_algorithm("snake_1"), perm_grid(6), observer=obs
         )
@@ -118,6 +118,18 @@ class TestMetricsObserver:
         assert reg["repro_run_steps"].count == 1
         assert reg["repro_run_seconds"].count == 1
         assert reg["repro_swaps_total"].value > 0
+
+    def test_engine_swap_detail_is_opt_in(self):
+        # Without swap_detail the vectorized backend skips the per-step grid
+        # diff, so swap counters stay untouched while the cheap tallies run.
+        obs = MetricsObserver()
+        outcome = run_until_sorted(
+            get_algorithm("snake_1"), perm_grid(6), observer=obs
+        )
+        reg = obs.registry
+        assert reg["repro_steps_total"].value == outcome.steps_scalar()
+        assert reg["repro_swaps_total"].value == 0
+        assert reg["repro_step_swaps"].count == 0
 
     def test_batched_run_records_every_trial(self):
         obs = MetricsObserver()
