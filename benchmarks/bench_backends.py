@@ -23,7 +23,7 @@ from repro.backends import (
 )
 from repro.core.algorithms import get_algorithm
 from repro.core.orders import target_grid
-from repro.experiments.montecarlo import sample_sort_steps
+from repro.experiments.montecarlo import _sort_steps_values
 from repro.randomness import random_permutation_grid
 
 SIDE = 32
@@ -59,7 +59,7 @@ def bench_sampler_with_cache(benchmark):
     the compilation, so the cache is hit once per batch."""
 
     def run():
-        return sample_sort_steps("snake_1", 12, 32, seed=0, batch_size=4)
+        return _sort_steps_values("snake_1", 12, 32, seed=0, batch_size=4)
 
     benchmark(run)
 
@@ -70,7 +70,7 @@ def bench_sampler_cold_cache(benchmark):
 
     def run():
         schedule_cache_clear()
-        return sample_sort_steps("snake_1", 12, 32, seed=0, batch_size=4)
+        return _sort_steps_values("snake_1", 12, 32, seed=0, batch_size=4)
 
     benchmark(run)
 

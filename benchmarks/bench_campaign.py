@@ -1,0 +1,150 @@
+"""E-CAMP: campaign-runner scaling and overhead measurements.
+
+Two pieces:
+
+* ``main()`` — a standalone scaling study: one >=512-trial side-16
+  sort-steps campaign run at ``--workers 1/2/4``, reporting wall-clock
+  and speedup (plus the verified bit-identity of the three samples).
+  This produces the table recorded in docs/PERFORMANCE.md ("Parallel
+  campaigns").  Run it directly::
+
+      PYTHONPATH=src python benchmarks/bench_campaign.py [--trials 512]
+
+  Speedup is bounded by the physical core count: on a single-core
+  container the workers serialize and the study degenerates to measuring
+  pool overhead — ``main()`` prints the detected core count so the
+  recorded numbers can be read honestly.
+
+* pytest-benchmark targets measuring the *fixed* costs the campaign layer
+  adds on top of the raw sampler: shard bookkeeping at workers=1 and the
+  checkpoint write path.  These run with the rest of ``pytest
+  benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.campaign import CampaignSpec, run_campaign
+from repro.experiments.montecarlo import _sort_steps_values
+
+SIDE = 16
+TRIALS = 512
+SHARD_SIZE = 32
+SEED = 20260805
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def scaling_study(trials: int = TRIALS, side: int = SIDE) -> dict:
+    """Time the same campaign at workers 1/2/4; verify bit-identity."""
+    spec = CampaignSpec(
+        "snake_1", side=side, trials=trials, seed=SEED, shard_size=SHARD_SIZE
+    )
+    rows = []
+    digests = set()
+    for workers in (1, 2, 4):
+        start = time.perf_counter()
+        result = run_campaign(spec, workers=workers)
+        elapsed = time.perf_counter() - start
+        rows.append({"workers": workers, "seconds": elapsed})
+        digests.add(result.values_digest)
+    assert len(digests) == 1, "campaign values changed with worker count!"
+    base = rows[0]["seconds"]
+    for row in rows:
+        row["speedup"] = base / row["seconds"]
+    return {
+        "spec": {"algorithm": "snake_1", "side": side, "trials": trials,
+                 "shard_size": SHARD_SIZE, "seed": SEED},
+        "cores": _cpu_count(),
+        "digest": digests.pop(),
+        "rows": rows,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=TRIALS)
+    parser.add_argument("--side", type=int, default=SIDE)
+    parser.add_argument(
+        "--json", metavar="FILE", help="also write the raw numbers as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    study = scaling_study(args.trials, args.side)
+    print(
+        f"campaign scaling: snake_1 side={args.side} trials={args.trials} "
+        f"shard_size={SHARD_SIZE} on {study['cores']} core(s)"
+    )
+    print(f"{'workers':>8s} {'seconds':>9s} {'speedup':>8s}")
+    for row in study["rows"]:
+        print(f"{row['workers']:8d} {row['seconds']:9.2f} {row['speedup']:7.2f}x")
+    print(f"values digest (identical at every worker count): {study['digest']}")
+    if study["cores"] < 4:
+        print(
+            f"note: only {study['cores']} core(s) available — parallel "
+            "speedup is capped at 1x here; the speedup column measures "
+            "pool overhead, not scaling."
+        )
+    if args.json:
+        Path(args.json).write_text(json.dumps(study, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark targets: fixed overheads of the campaign layer.
+# ----------------------------------------------------------------------
+
+_BENCH_TRIALS = 64
+_BENCH_SIDE = 8
+
+
+def bench_raw_sampler(benchmark):
+    """Baseline: the bare in-process sampler the campaign path wraps."""
+
+    def run():
+        return _sort_steps_values("snake_1", _BENCH_SIDE, _BENCH_TRIALS, seed=1)
+
+    benchmark(run)
+
+
+def bench_campaign_serial_overhead(benchmark):
+    """The same workload through run_campaign at workers=1: shard plan,
+    per-shard SeedSequence derivation, merge — everything but the pool."""
+    spec = CampaignSpec(
+        "snake_1", side=_BENCH_SIDE, trials=_BENCH_TRIALS, seed=1, shard_size=16
+    )
+
+    def run():
+        return run_campaign(spec, workers=1)
+
+    benchmark(run)
+
+
+def bench_campaign_checkpoint_write(benchmark):
+    """workers=1 plus the JSONL checkpoint append path."""
+    spec = CampaignSpec(
+        "snake_1", side=_BENCH_SIDE, trials=_BENCH_TRIALS, seed=1, shard_size=16
+    )
+
+    def run():
+        with tempfile.TemporaryDirectory() as tmp:
+            return run_campaign(spec, workers=1, checkpoint_dir=tmp)
+
+    benchmark(run)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

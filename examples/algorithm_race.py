@@ -14,7 +14,7 @@ import argparse
 
 from repro.baselines import shearsort
 from repro.core import ALGORITHM_NAMES
-from repro.experiments import sample_sort_steps, summarize
+from repro.experiments import sample
 from repro.viz import ascii_series
 
 
@@ -22,6 +22,8 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trials", type=int, default=48)
     parser.add_argument("--sides", default="8,12,16,20")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (campaign mode when != 1)")
     args = parser.parse_args()
     sides = [int(s) for s in args.sides.split(",")]
 
@@ -31,8 +33,9 @@ def main() -> None:
     for name in contenders:
         for side in sides:
             algorithm = shearsort(side) if name == "shearsort" else name
-            steps = sample_sort_steps(algorithm, side, args.trials, seed=(2026, side))
-            means[name].append(summarize(steps).mean)
+            result = sample(algorithm, side=side, trials=args.trials,
+                            seed=(2026, side), workers=args.workers)
+            means[name].append(result.stats.mean)
         print(f"{name:22s} " + " ".join(f"{m:8.1f}" for m in means[name]))
 
     print("\nMean steps vs N (watch shearsort flatten away from the pack):")

@@ -17,7 +17,7 @@ import argparse
 
 import numpy as np
 
-from repro.experiments import sample_statistic_after_steps, summarize
+from repro.experiments import sample
 from repro.theory import appendix, moments
 from repro.zeroone import first_column_zeros, y1_statistic, z1_statistic
 
@@ -51,21 +51,17 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     for title, algo, steps, stat, exact, paper in cases:
-        sample = sample_statistic_after_steps(
-            algo, side, args.trials,
-            lambda g, s=stat: np.atleast_1d(np.asarray(s(g))),
-            num_steps=steps, seed=(42, side),
-        )
-        stats = summarize(sample)
+        stats = sample(
+            algo, side=side, trials=args.trials, kind="statistic",
+            statistic=stat, num_steps=steps, seed=(42, side),
+        ).stats
         print(f"{title:52s} {stats.mean:10.4f} {float(exact):10.4f} {float(paper):10.4f}")
 
     odd = side + 1 if (side + 1) % 2 == 1 else side - 1
-    sample = sample_statistic_after_steps(
-        "snake_1", odd, args.trials,
-        lambda g: np.atleast_1d(np.asarray(z1_statistic(g))),
-        seed=(42, odd),
-    )
-    stats = summarize(sample)
+    stats = sample(
+        "snake_1", side=odd, trials=args.trials, kind="statistic",
+        statistic=z1_statistic, seed=(42, odd),
+    ).stats
     print(
         f"{'E[Z1(0)] odd side ' + str(odd) + ' (Lemma 14)':52s} "
         f"{stats.mean:10.4f} {float(appendix.e_Z1_0_snake1_odd(odd)):10.4f} "
@@ -74,12 +70,11 @@ def main() -> None:
 
     print("\nVariance of Z1(0) for snake_1 (Theorem 8): the printed (17/8)n^2 is")
     print("contradicted by both exact combinatorics and Monte Carlo:")
-    sample = sample_statistic_after_steps(
-        "snake_1", side, args.trials,
-        lambda g: np.atleast_1d(np.asarray(z1_statistic(g))),
-        seed=(43, side),
-    )
-    print(f"  MC variance    = {np.var(sample, ddof=1):10.4f}")
+    values = sample(
+        "snake_1", side=side, trials=args.trials, kind="statistic",
+        statistic=z1_statistic, seed=(43, side),
+    ).values
+    print(f"  MC variance    = {np.var(values, ddof=1):10.4f}")
     print(f"  exact variance = {float(moments.var_Z1_0_snake1(side)):10.4f}")
     print(f"  paper's form   = {float(moments.var_Z1_0_snake1_paper(n)):10.4f}")
 

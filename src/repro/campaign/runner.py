@@ -1,0 +1,318 @@
+"""Sharded, fault-tolerant, parallel campaign execution.
+
+:func:`run_campaign` turns a :class:`~repro.campaign.spec.CampaignSpec`
+into a merged :class:`~repro.campaign.result.SampleResult`:
+
+1. the spec's deterministic shard plan is computed (``SeedSequence.spawn``
+   child ``i`` feeds shard ``i`` — see :mod:`repro.randomness`);
+2. shards already recorded in the campaign's checkpoint are restored
+   (``resume=True``) instead of recomputed;
+3. the rest are executed — in-process and in plan order for ``workers=1``,
+   fanned out over a ``concurrent.futures.ProcessPoolExecutor`` otherwise —
+   with each shard retried up to ``retries`` extra times on worker failure
+   (a crashed pool is rebuilt and the unfinished shards resubmitted);
+4. completed shards are appended to the checkpoint as they finish and
+   reported through the ambient/explicit observer as campaign-level events
+   (:class:`~repro.obs.events.ShardEnd` etc.);
+5. shard samples are merged **in shard-index order**, which is what makes
+   the aggregate bit-identical across worker counts, completion orders,
+   and interrupt-then-resume cycles.
+
+Shard execution itself is unobserved at the run level (see
+:func:`repro.obs.context.no_observer`): per-step events cannot usefully
+cross process boundaries, and campaigns report shard-granular progress
+from the coordinating process instead.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.campaign.checkpoint import CheckpointStore, checkpoint_path
+from repro.campaign.result import SampleResult
+from repro.campaign.spec import CampaignSpec, Shard
+from repro.errors import CampaignError, DimensionError
+from repro.obs.context import no_observer, resolve_observer
+from repro.obs.events import CampaignEnd, CampaignStart, Observer, ShardEnd
+from repro.obs.manifest import write_manifest
+from repro.randomness import as_generator
+
+__all__ = ["run_campaign", "execute_shard"]
+
+
+def execute_shard(spec: CampaignSpec, index: int, trials: int) -> np.ndarray:
+    """Sample one shard's values — the unit of work a worker performs.
+
+    Deterministic in ``(spec, index)`` alone: the shard re-derives its
+    ``SeedSequence`` child locally, so any worker (or a later resume) that
+    runs the same shard produces bit-identical values.
+    """
+    # Imported here, not at module top: repro.experiments imports this
+    # package (for the sample() facade), so a top-level import is circular.
+    from repro.experiments.montecarlo import _sort_steps_values, _statistic_values
+
+    with no_observer():
+        rng = as_generator(spec.shard_seed(index))
+        if spec.kind == "sort_steps":
+            return _sort_steps_values(
+                spec.algorithm,
+                spec.side,
+                trials,
+                seed=rng,
+                max_steps=spec.max_steps,
+                input_kind=spec.input_kind,
+                batch_size=spec.batch_size,
+                backend=spec.backend,
+            )
+        return _statistic_values(
+            spec.algorithm,
+            spec.side,
+            trials,
+            spec.statistic,
+            num_steps=spec.num_steps,
+            seed=rng,
+            input_kind=spec.input_kind,
+            batch_size=spec.batch_size,
+            backend=spec.backend,
+        ).astype(np.float64)
+
+
+def _merge(spec: CampaignSpec, completed: dict[int, np.ndarray]) -> np.ndarray:
+    """Concatenate shard samples in shard-index order (the determinism rule)."""
+    dtype = np.dtype(spec.values_dtype)
+    return np.concatenate(
+        [np.asarray(completed[i], dtype=dtype) for i in sorted(completed)]
+    )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    workers: int = 1,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    observer: Observer | None = None,
+    retries: int = 2,
+    max_shards: int | None = None,
+) -> SampleResult:
+    """Run (or resume) a campaign and return the merged sample.
+
+    Parameters
+    ----------
+    workers:
+        Degree of process parallelism.  ``1`` runs shards in-process, in
+        plan order; any value produces the identical aggregate.
+    checkpoint_dir:
+        Directory for the campaign's JSONL checkpoint (and, on completion,
+        its manifest).  ``None`` disables checkpointing.
+    resume:
+        Restore shards already recorded in the checkpoint instead of
+        recomputing them.  Without ``resume`` an existing checkpoint for
+        the same campaign is overwritten.
+    observer:
+        Receives campaign-level events; falls back to the ambient observer
+        (:func:`repro.obs.use_observer`).
+    retries:
+        Extra attempts per shard after a worker failure before the
+        campaign gives up with :class:`CampaignError`.  A crashed pool
+        (e.g. an OOM-killed worker) counts one attempt against every shard
+        that was in flight.
+    max_shards:
+        Budgeted partial run: compute at most this many new shards, then
+        checkpoint and return a partial (``complete=False``) result.
+        Requires ``checkpoint_dir`` — a partial run you cannot resume
+        would be wasted work.
+    """
+    if workers < 1:
+        raise DimensionError(f"workers must be >= 1, got {workers}")
+    if retries < 0:
+        raise DimensionError(f"retries must be >= 0, got {retries}")
+    if max_shards is not None and max_shards < 1:
+        raise DimensionError(f"max_shards must be >= 1, got {max_shards}")
+    if max_shards is not None and checkpoint_dir is None:
+        raise DimensionError("max_shards (partial runs) requires checkpoint_dir")
+
+    plan = spec.shards()
+    obs = resolve_observer(observer)
+    clock = time.perf_counter()
+
+    store: CheckpointStore | None = None
+    completed: dict[int, np.ndarray] = {}
+    if checkpoint_dir is not None:
+        store = CheckpointStore(checkpoint_path(checkpoint_dir, spec), spec)
+        if resume:
+            completed = store.load()
+        store.open(fresh=not resume)
+    resumed = len(completed)
+
+    if obs is not None:
+        obs.on_campaign_start(
+            CampaignStart(
+                campaign=spec.fingerprint,
+                algorithm=spec.algorithm_name,
+                side=spec.side,
+                trials=spec.trials,
+                num_shards=len(plan),
+                shard_size=spec.shard_size,
+                workers=workers,
+                backend=spec.backend,
+                kind=spec.kind,
+                resumed_shards=resumed,
+            )
+        )
+        for index in sorted(completed):
+            obs.on_shard_end(
+                ShardEnd(
+                    campaign=spec.fingerprint,
+                    index=index,
+                    trials=int(completed[index].size),
+                    from_checkpoint=True,
+                )
+            )
+
+    todo = [shard for shard in plan if shard.index not in completed]
+    if max_shards is not None:
+        todo = todo[:max_shards]
+    attempts: dict[int, int] = {shard.index: 0 for shard in todo}
+    total_retries = 0
+
+    def finish_shard(shard: Shard, values: np.ndarray, elapsed: float) -> None:
+        completed[shard.index] = values
+        if store is not None:
+            store.append(shard.index, values, elapsed)
+        if obs is not None:
+            obs.on_shard_end(
+                ShardEnd(
+                    campaign=spec.fingerprint,
+                    index=shard.index,
+                    trials=shard.trials,
+                    elapsed=elapsed,
+                    attempts=attempts[shard.index] + 1,
+                )
+            )
+
+    try:
+        if workers == 1:
+            _run_serial(spec, todo, attempts, retries, finish_shard)
+        else:
+            total_retries = _run_pool(
+                spec, todo, attempts, retries, workers, finish_shard
+            )
+    finally:
+        if store is not None:
+            store.close()
+
+    elapsed = time.perf_counter() - clock
+    complete = len(completed) == len(plan)
+    values = _merge(spec, completed)
+    if obs is not None:
+        obs.on_campaign_end(
+            CampaignEnd(
+                campaign=spec.fingerprint,
+                completed_shards=len(completed),
+                num_shards=len(plan),
+                trials=int(values.size),
+                elapsed=elapsed,
+                complete=complete,
+            )
+        )
+
+    meta: dict[str, Any] = {
+        "mode": "campaign",
+        "campaign": spec.fingerprint,
+        "algorithm": spec.algorithm_name,
+        "side": spec.side,
+        "trials": int(values.size),
+        "planned_trials": spec.trials,
+        "kind": spec.kind,
+        "input_kind": spec.input_kind,
+        "seed": spec.seed,
+        "backend": spec.backend,
+        "workers": workers,
+        "num_shards": len(plan),
+        "shard_size": spec.shard_size,
+        "completed_shards": len(completed),
+        "resumed_shards": resumed,
+        "shard_retries": total_retries,
+        "elapsed": elapsed,
+        "checkpoint": str(store.path) if store is not None else None,
+    }
+    result = SampleResult.from_values(values, meta, complete=complete)
+    if store is not None:
+        manifest = result.to_manifest()
+        write_manifest(store.path.with_suffix(".manifest.json"), manifest)
+    return result
+
+
+def _run_serial(spec, todo, attempts, retries, finish_shard) -> None:
+    """Plan-order in-process execution (workers=1)."""
+    for shard in todo:
+        while True:
+            start = time.perf_counter()
+            try:
+                values = execute_shard(spec, shard.index, shard.trials)
+            except Exception as exc:
+                attempts[shard.index] += 1
+                if attempts[shard.index] > retries:
+                    raise CampaignError(
+                        [shard.index],
+                        f"shard {shard.index} failed after "
+                        f"{attempts[shard.index]} attempt(s): {exc!r}",
+                    ) from exc
+                continue
+            finish_shard(shard, values, time.perf_counter() - start)
+            break
+
+
+def _run_pool(spec, todo, attempts, retries, workers, finish_shard) -> int:
+    """Process-pool execution with per-shard retry and pool rebuild.
+
+    Shards are submitted in rounds: round 1 is the whole todo list; each
+    later round resubmits only the shards whose previous attempt failed.
+    A broken pool (worker killed hard) fails every in-flight shard at
+    once, so the round ends, the ``with`` block reaps the dead pool, and
+    the next round starts a fresh one.
+    """
+    total_retries = 0
+    remaining = list(todo)
+    while remaining:
+        failed_for_good: list[int] = []
+        next_round: list[Shard] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            future_to_shard = {
+                pool.submit(_shard_task, spec, shard.index, shard.trials): (
+                    shard,
+                    time.perf_counter(),
+                )
+                for shard in remaining
+            }
+            for future in as_completed(future_to_shard):
+                shard, start = future_to_shard[future]
+                try:
+                    values = future.result()
+                except Exception:
+                    # Worker raised, died, or the whole pool broke
+                    # (BrokenProcessPool fails every in-flight future).
+                    attempts[shard.index] += 1
+                    total_retries += 1
+                    if attempts[shard.index] > retries:
+                        failed_for_good.append(shard.index)
+                    else:
+                        next_round.append(shard)
+                    continue
+                finish_shard(shard, values, time.perf_counter() - start)
+        if failed_for_good:
+            raise CampaignError(sorted(failed_for_good))
+        # Re-run failures in plan order, in a fresh pool.
+        remaining = sorted(next_round, key=lambda shard: shard.index)
+    return total_retries
+
+
+def _shard_task(spec: CampaignSpec, index: int, trials: int) -> np.ndarray:
+    """Module-level (hence picklable) worker entry point."""
+    return execute_shard(spec, index, trials)

@@ -14,6 +14,8 @@ __all__ = [
     "ScheduleValidationError",
     "StepLimitExceeded",
     "MissingWireError",
+    "CampaignError",
+    "CheckpointError",
 ]
 
 
@@ -56,6 +58,39 @@ class StepLimitExceeded(ReproError, RuntimeError):
             message
             or f"step cap of {steps_taken} reached with {unfinished} grid(s) unsorted"
         )
+
+
+class CampaignError(ReproError, RuntimeError):
+    """A Monte-Carlo campaign could not complete.
+
+    Raised by :func:`repro.campaign.run_campaign` when a shard keeps
+    failing after its retry budget is exhausted.  Shards completed before
+    the failure are preserved in the campaign's checkpoint (when one is
+    configured), so a later ``resume=True`` run picks up where this one
+    stopped.
+
+    Attributes
+    ----------
+    failed_shards:
+        Indices of the shards that exhausted their retries.
+    """
+
+    def __init__(self, failed_shards: list[int], message: str | None = None):
+        self.failed_shards = list(failed_shards)
+        super().__init__(
+            message
+            or f"campaign failed on shard(s) {self.failed_shards} after retries"
+        )
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A campaign checkpoint file is unusable for the requested campaign.
+
+    Raised when a checkpoint's header fingerprint does not match the
+    campaign spec being resumed (the stored shards were produced by a
+    different (algorithm, side, trials, seed, ...) declaration and must
+    not be merged), or when the header itself is corrupt.
+    """
 
 
 class MissingWireError(ReproError, RuntimeError):

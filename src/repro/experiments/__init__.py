@@ -1,5 +1,11 @@
-"""Experiment harness: Monte-Carlo runners and the per-theorem registry."""
+"""Experiment harness: Monte-Carlo runners and the per-theorem registry.
 
+:func:`sample` is the unified sampling facade (in-process or sharded
+campaign mode); ``sample_sort_steps`` / ``sample_statistic_after_steps``
+remain importable as deprecated shims.
+"""
+
+from repro.campaign.result import SampleResult
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.montecarlo import (
     TrialStats,
@@ -13,11 +19,14 @@ from repro.experiments.registry import (
     experiment_ids,
     run_experiment,
 )
+from repro.experiments.sampling import sample
 from repro.experiments.tables import Table
 
 __all__ = [
     "ExperimentConfig",
     "TrialStats",
+    "SampleResult",
+    "sample",
     "sample_sort_steps",
     "sample_statistic_after_steps",
     "summarize",

@@ -68,6 +68,21 @@ def main(argv: list[str] | None = None) -> int:
         help="execution backend for the Monte-Carlo samplers "
              "(see repro.backends.available_backends(); default: vectorized)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the Monte-Carlo sweeps; N != 1 switches "
+             "the samplers to sharded campaign mode (default: 1, in-process)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="checkpoint campaign shards under DIR so interrupted runs can "
+             "be resumed with --resume (implies campaign mode)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="restore shards already recorded under --checkpoint-dir "
+             "instead of recomputing them",
+    )
     parser.add_argument("--csv", metavar="DIR", help="also write each table as CSV")
     parser.add_argument(
         "--summary", metavar="FILE",
@@ -111,6 +126,14 @@ def main(argv: list[str] | None = None) -> int:
             print(error, file=sys.stderr)
             return 2
 
+    checkpoint_dir: Path | None = None
+    if args.checkpoint_dir:
+        checkpoint_dir = Path(args.checkpoint_dir)
+        error = _ensure_writable_dir(checkpoint_dir, "--checkpoint-dir")
+        if error:
+            print(error, file=sys.stderr)
+            return 2
+
     registry = MetricsRegistry()
     persistent_observers = []
     if args.metrics_out:
@@ -132,7 +155,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.summary:
         try:
             cfg = ExperimentConfig(
-                scale=args.scale, seed=args.seed, backend=args.backend
+                scale=args.scale,
+                seed=args.seed,
+                backend=args.backend,
+                workers=args.workers,
+                checkpoint_dir=str(checkpoint_dir) if checkpoint_dir else None,
+                resume=args.resume,
             )
         except DimensionError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -169,7 +197,14 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     try:
-        cfg = ExperimentConfig(scale=args.scale, seed=args.seed, backend=args.backend)
+        cfg = ExperimentConfig(
+            scale=args.scale,
+            seed=args.seed,
+            backend=args.backend,
+            workers=args.workers,
+            checkpoint_dir=str(checkpoint_dir) if checkpoint_dir else None,
+            resume=args.resume,
+        )
     except DimensionError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

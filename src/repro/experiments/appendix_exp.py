@@ -9,7 +9,7 @@ from __future__ import annotations
 from repro.core.engine import default_step_cap, iter_steps, run_until_sorted
 from repro.core.runner import resolve_algorithm
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.montecarlo import sample_sort_steps, summarize
+from repro.experiments.sampling import sample
 from repro.experiments.tables import Table
 from repro.randomness import as_generator, paper_zero_count, random_permutation_grid
 from repro.theory.appendix import corollary4_average_lower
@@ -32,11 +32,10 @@ def exp_appendix_average(cfg: ExperimentConfig) -> Table:
     )
     for algorithm in ("snake_1", "snake_2", "snake_3"):
         for side in cfg.odd_sides:
-            steps = sample_sort_steps(
-                algorithm, side, cfg.trials, seed=(cfg.seed, side, 13),
-                backend=cfg.backend,
-            )
-            stats = summarize(steps)
+            stats = sample(
+                algorithm, side=side, trials=cfg.trials,
+                seed=(cfg.seed, side, 13), **cfg.sampler_kwargs,
+            ).stats
             n_cells = side * side
             if algorithm in ("snake_1", "snake_2"):
                 bound = float(corollary4_average_lower(side))

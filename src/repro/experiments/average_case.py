@@ -13,7 +13,7 @@ from fractions import Fraction
 from typing import Callable
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.montecarlo import sample_sort_steps, summarize
+from repro.experiments.sampling import sample
 from repro.experiments.tables import Table
 from repro.theory.bounds import (
     diameter_lower_bound,
@@ -59,10 +59,10 @@ def average_case_table(
     )
     table.add_note(claim)
     for side in cfg.even_sides:
-        steps = sample_sort_steps(
-            algorithm, side, cfg.trials, seed=(cfg.seed, side), backend=cfg.backend
-        )
-        stats = summarize(steps)
+        stats = sample(
+            algorithm, side=side, trials=cfg.trials,
+            seed=(cfg.seed, side), **cfg.sampler_kwargs,
+        ).stats
         bound = bound_fn(side)
         n_cells = side * side
         table.add_row(

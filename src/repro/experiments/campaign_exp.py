@@ -1,0 +1,67 @@
+"""E-CAMP: the scaling figure rerun as sharded campaigns.
+
+The same five-algorithm step-count averages as E-SCALE, but sampled
+through :mod:`repro.campaign` with a pinned ``shard_size`` — so the table
+is **bit-identical for every worker count** (``--workers 1``, ``2``,
+``4``, ...) and across interrupt-then-resume when ``--checkpoint-dir`` is
+given.  The last columns record the campaign plumbing itself (shards,
+resumed shards, per-campaign wall-clock), making this the experiment CI
+runs to smoke-test the parallel path end to end.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithms import ALGORITHM_NAMES
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sampling import sample
+from repro.experiments.tables import Table
+
+__all__ = ["exp_campaign"]
+
+#: Pinned so the shard plan — hence every sampled value — is independent of
+#: scale/workers flags; only the trial budget varies with scale.
+_SHARD_SIZE = 32
+
+
+def exp_campaign(cfg: ExperimentConfig) -> Table:
+    """Mean steps per algorithm via sharded campaigns (worker-count invariant)."""
+    table = Table(
+        title="E-CAMP: sharded-campaign averages (identical for any --workers)",
+        headers=[
+            "algorithm",
+            "side",
+            "trials",
+            "mean steps",
+            "mean/N",
+            "shards",
+            "resumed",
+            "seconds",
+        ],
+    )
+    table.add_note(
+        "Sampled through repro.campaign with shard_size pinned to "
+        f"{_SHARD_SIZE}: the values depend only on (algorithm, side, trials, "
+        "seed), never on --workers or checkpoint/resume history."
+    )
+    side = cfg.even_sides[-1]
+    n_cells = side * side
+    for name in ALGORITHM_NAMES:
+        result = sample(
+            name,
+            side=side,
+            trials=cfg.trials,
+            seed=(cfg.seed, side, 55),
+            shard_size=_SHARD_SIZE,
+            **cfg.sampler_kwargs,
+        )
+        table.add_row(
+            name,
+            side,
+            result.stats.count,
+            result.stats.mean,
+            result.stats.mean / n_cells,
+            result.meta["num_shards"],
+            result.meta["resumed_shards"],
+            result.meta["elapsed"],
+        )
+    return table

@@ -27,10 +27,17 @@ class ExperimentConfig:
     scale: str = "quick"
     seed: int = 20260706
     backend: str = "vectorized"
+    workers: int = 1
+    checkpoint_dir: str | None = None
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.scale not in ("quick", "full"):
             raise DimensionError(f"scale must be 'quick' or 'full', got {self.scale!r}")
+        if self.workers < 1:
+            raise DimensionError(f"workers must be >= 1, got {self.workers}")
+        if self.resume and self.checkpoint_dir is None:
+            raise DimensionError("resume=True requires checkpoint_dir")
         from repro.backends import available_backends
 
         if self.backend not in available_backends():
@@ -38,6 +45,21 @@ class ExperimentConfig:
                 f"unknown backend {self.backend!r}; "
                 f"available: {', '.join(available_backends())}"
             )
+
+    @property
+    def sampler_kwargs(self) -> dict:
+        """Keyword arguments experiments thread into :func:`repro.experiments.sample`.
+
+        With the defaults (``workers=1``, no checkpoint dir) this selects the
+        in-process path, so experiment tables stay bit-identical to historical
+        runs; ``--workers N`` / ``--checkpoint-dir`` switch the sweeps to
+        campaign mode.
+        """
+        kwargs: dict = {"backend": self.backend, "workers": self.workers}
+        if self.checkpoint_dir is not None:
+            kwargs["checkpoint_dir"] = self.checkpoint_dir
+            kwargs["resume"] = self.resume
+        return kwargs
 
     @property
     def even_sides(self) -> list[int]:

@@ -21,7 +21,7 @@ from fractions import Fraction
 import numpy as np
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.montecarlo import sample_sort_steps
+from repro.experiments.sampling import sample
 from repro.experiments.tables import Table
 from repro.theory.chebyshev import (
     theorem3_tail_bound,
@@ -63,10 +63,10 @@ def exp_exact_tails(cfg: ExperimentConfig) -> Table:
     gamma = Fraction(1, 10)
     for theorem, algorithm, exact_fn, cheb_fn in _CASES:
         for side in sides:
-            steps = sample_sort_steps(
-                algorithm, side, cfg.trials, seed=(cfg.seed, side, 91),
-                backend=cfg.backend,
-            )
+            steps = sample(
+                algorithm, side=side, trials=cfg.trials,
+                seed=(cfg.seed, side, 91), **cfg.sampler_kwargs,
+            ).values
             n_cells = side * side
             empirical = float(np.mean(steps <= float(gamma) * n_cells))
             exact = float(exact_fn(side, gamma))
@@ -81,10 +81,10 @@ def exp_exact_tails(cfg: ExperimentConfig) -> Table:
     # empirical frequency.
     odd_sides = [s for s in cfg.odd_sides if s <= (13 if cfg.scale == "quick" else 27)]
     for side in odd_sides:
-        steps = sample_sort_steps(
-            "snake_1", side, cfg.trials, seed=(cfg.seed, side, 92),
-            backend=cfg.backend,
-        )
+        steps = sample(
+            "snake_1", side=side, trials=cfg.trials,
+            seed=(cfg.seed, side, 92), **cfg.sampler_kwargs,
+        ).values
         n_cells = side * side
         empirical = float(np.mean(steps <= float(gamma) * n_cells))
         exact = float(theorem13_tail_exact(side, gamma))

@@ -29,7 +29,7 @@ from repro.core.engine import default_step_cap, run_until_sorted
 from repro.core.orders import target_grid
 from repro.core.runner import resolve_algorithm, sort_grid
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.montecarlo import sample_sort_steps
+from repro.experiments.sampling import sample
 from repro.experiments.tables import Table
 from repro.mesh.machine import mesh_sort
 from repro.randomness import as_generator, random_permutation_grid
@@ -66,11 +66,10 @@ def exp_constants(cfg: ExperimentConfig) -> Table:
     for name in ALGORITHM_NAMES:
         n_vals, means = [], []
         for side in sides:
-            steps = sample_sort_steps(name, side, cfg.trials,
-                                      seed=(cfg.seed, side, 31),
-                                      backend=cfg.backend)
+            res = sample(name, side=side, trials=cfg.trials,
+                         seed=(cfg.seed, side, 31), **cfg.sampler_kwargs)
             n_vals.append(side * side)
-            means.append(float(np.mean(steps)))
+            means.append(res.stats.mean)
         design = np.column_stack([n_vals, np.sqrt(n_vals)])
         coef, residual, *_ = np.linalg.lstsq(design, np.asarray(means), rcond=None)
         fitted = design @ coef
@@ -95,9 +94,9 @@ def exp_distribution(cfg: ExperimentConfig) -> Table:
     side = cfg.even_sides[-1]
     n_cells = side * side
     for name in ALGORITHM_NAMES:
-        steps = sample_sort_steps(name, side, max(cfg.trials, 64),
-                                  seed=(cfg.seed, side, 32),
-                                  backend=cfg.backend) / n_cells
+        steps = sample(name, side=side, trials=max(cfg.trials, 64),
+                       seed=(cfg.seed, side, 32),
+                       **cfg.sampler_kwargs).values / n_cells
         q05, q25, q50, q75, q95 = np.quantile(steps, [0.05, 0.25, 0.5, 0.75, 0.95])
         table.add_row(name, side, q05, q25, q50, q75, q95, (q95 - q05) / q50)
     return table

@@ -15,23 +15,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.montecarlo import sample_statistic_after_steps, summarize
+from repro.experiments.sampling import sample
 from repro.experiments.tables import Table
 from repro.theory import appendix, moments
 from repro.zeroone.trackers import y1_statistic, z1_statistic
 from repro.zeroone.weights import first_column_zeros, m_statistic
 
 __all__ = ["exp_moments_row_major", "exp_moments_snake", "exp_moments_variance"]
-
-
-def _batched(stat):
-    """Lift a single-grid statistic to batches (the trackers already
-    broadcast; this handles the scalar/array return convention)."""
-
-    def wrapped(grids: np.ndarray) -> np.ndarray:
-        return np.atleast_1d(np.asarray(stat(grids)))
-
-    return wrapped
 
 
 def exp_moments_row_major(cfg: ExperimentConfig) -> Table:
@@ -45,15 +35,11 @@ def exp_moments_row_major(cfg: ExperimentConfig) -> Table:
     )
     for side in cfg.even_sides:
         n = side // 2
-        mc = sample_statistic_after_steps(
-            "row_major_row_first",
-            side,
-            cfg.moment_trials,
-            _batched(first_column_zeros),
-            seed=(cfg.seed, side, 1),
-            backend=cfg.backend,
-        )
-        stats = summarize(mc)
+        stats = sample(
+            "row_major_row_first", side=side, trials=cfg.moment_trials,
+            kind="statistic", statistic=first_column_zeros,
+            seed=(cfg.seed, side, 1), **cfg.sampler_kwargs,
+        ).stats
         exact = float(moments.e_Z1_row_first(n))
         paper = float(2 * n * moments.e_z1_row_first_paper(n))
         table.add_row(
@@ -62,15 +48,11 @@ def exp_moments_row_major(cfg: ExperimentConfig) -> Table:
             abs(stats.mean - exact) <= 4 * (stats.sem + 1e-12),
         )
 
-        mc_m = sample_statistic_after_steps(
-            "row_major_row_first",
-            side,
-            cfg.moment_trials,
-            _batched(m_statistic),
-            seed=(cfg.seed, side, 2),
-            backend=cfg.backend,
-        )
-        stats_m = summarize(mc_m)
+        stats_m = sample(
+            "row_major_row_first", side=side, trials=cfg.moment_trials,
+            kind="statistic", statistic=m_statistic,
+            seed=(cfg.seed, side, 2), **cfg.sampler_kwargs,
+        ).stats
         lower = float(moments.e_M_lower_row_first_paper(n))
         table.add_row(
             "E[M] row-first (>= bound)", side, lower, lower,
@@ -80,16 +62,11 @@ def exp_moments_row_major(cfg: ExperimentConfig) -> Table:
 
         # Column-first: Z1 counts the first-column zeroes after the first
         # *row* sort, which is step 2 of the column-first algorithm.
-        mc_cf = sample_statistic_after_steps(
-            "row_major_col_first",
-            side,
-            cfg.moment_trials,
-            _batched(first_column_zeros),
-            num_steps=2,
-            seed=(cfg.seed, side, 3),
-            backend=cfg.backend,
-        )
-        stats_cf = summarize(mc_cf)
+        stats_cf = sample(
+            "row_major_col_first", side=side, trials=cfg.moment_trials,
+            kind="statistic", statistic=first_column_zeros, num_steps=2,
+            seed=(cfg.seed, side, 3), **cfg.sampler_kwargs,
+        ).stats
         exact_cf = float(moments.e_Z1_col_first(n))
         paper_cf = float(n * moments.e_z1_col_first_paper(n))
         table.add_row(
@@ -107,11 +84,11 @@ def exp_moments_snake(cfg: ExperimentConfig) -> Table:
         headers=["quantity", "side", "exact", "paper form", "MC mean", "ci95 half", "agree"],
     )
     for side in cfg.even_sides:
-        mc = sample_statistic_after_steps(
-            "snake_1", side, cfg.moment_trials, _batched(z1_statistic),
-            seed=(cfg.seed, side, 4), backend=cfg.backend,
-        )
-        stats = summarize(mc)
+        stats = sample(
+            "snake_1", side=side, trials=cfg.moment_trials,
+            kind="statistic", statistic=z1_statistic,
+            seed=(cfg.seed, side, 4), **cfg.sampler_kwargs,
+        ).stats
         exact = float(moments.e_Z1_0_snake1(side))
         paper = float(moments.e_Z1_0_snake1_paper(side))
         table.add_row(
@@ -119,11 +96,11 @@ def exp_moments_snake(cfg: ExperimentConfig) -> Table:
             stats.mean, 1.96 * stats.sem,
             abs(stats.mean - exact) <= 4 * (stats.sem + 1e-12),
         )
-        mc_y = sample_statistic_after_steps(
-            "snake_2", side, cfg.moment_trials, _batched(y1_statistic),
-            seed=(cfg.seed, side, 5), backend=cfg.backend,
-        )
-        stats_y = summarize(mc_y)
+        stats_y = sample(
+            "snake_2", side=side, trials=cfg.moment_trials,
+            kind="statistic", statistic=y1_statistic,
+            seed=(cfg.seed, side, 5), **cfg.sampler_kwargs,
+        ).stats
         exact_y = float(moments.e_Y1_0_snake2(side))
         paper_y = float(moments.e_Y1_0_snake2_paper(side))
         table.add_row(
@@ -132,11 +109,11 @@ def exp_moments_snake(cfg: ExperimentConfig) -> Table:
             abs(stats_y.mean - exact_y) <= 4 * (stats_y.sem + 1e-12),
         )
     for side in cfg.odd_sides:
-        mc = sample_statistic_after_steps(
-            "snake_1", side, cfg.moment_trials, _batched(z1_statistic),
-            seed=(cfg.seed, side, 6), backend=cfg.backend,
-        )
-        stats = summarize(mc)
+        stats = sample(
+            "snake_1", side=side, trials=cfg.moment_trials,
+            kind="statistic", statistic=z1_statistic,
+            seed=(cfg.seed, side, 6), **cfg.sampler_kwargs,
+        ).stats
         exact = float(appendix.e_Z1_0_snake1_odd(side))
         paper = float(appendix.e_Z1_0_snake1_odd_paper(side))
         table.add_row(
@@ -160,21 +137,22 @@ def exp_moments_variance(cfg: ExperimentConfig) -> Table:
     )
     for side in cfg.even_sides:
         n = side // 2
-        mc = sample_statistic_after_steps(
-            "row_major_row_first", side, cfg.moment_trials,
-            _batched(first_column_zeros), seed=(cfg.seed, side, 7),
-            backend=cfg.backend,
-        )
+        mc = sample(
+            "row_major_row_first", side=side, trials=cfg.moment_trials,
+            kind="statistic", statistic=first_column_zeros,
+            seed=(cfg.seed, side, 7), **cfg.sampler_kwargs,
+        ).values
         var_mc = float(np.var(mc, ddof=1))
         exact = float(moments.var_Z1_row_first(n))
         table.add_row(
             "Var(Z1) row-first", side, exact, f"3n/8 = {3 * n / 8:.3f}", var_mc,
             abs(var_mc - exact) <= 0.25 * exact + 0.05,
         )
-        mc_s = sample_statistic_after_steps(
-            "snake_1", side, cfg.moment_trials, _batched(z1_statistic),
-            seed=(cfg.seed, side, 8), backend=cfg.backend,
-        )
+        mc_s = sample(
+            "snake_1", side=side, trials=cfg.moment_trials,
+            kind="statistic", statistic=z1_statistic,
+            seed=(cfg.seed, side, 8), **cfg.sampler_kwargs,
+        ).values
         var_s = float(np.var(mc_s, ddof=1))
         exact_s = float(moments.var_Z1_0_snake1(side))
         paper_s = float(moments.var_Z1_0_snake1_paper(n))

@@ -21,6 +21,7 @@ from repro.experiments.average_case import (
     exp_theorem10,
     exp_theorem12_average,
 )
+from repro.experiments.campaign_exp import exp_campaign
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.decay_exp import exp_decay
 from repro.experiments.exact_tails import exp_exact_tails
@@ -90,6 +91,7 @@ _SPECS = (
     ExperimentSpec("E-RECT", "Extension: rectangular meshes", exp_rectangles),
     ExperimentSpec("E-FAULT", "Extension: comparator fault injection", exp_faults),
     ExperimentSpec("E-DECAY", "Extension: inversion decay curves", exp_decay),
+    ExperimentSpec("E-CAMP", "Infrastructure: sharded parallel campaigns", exp_campaign),
 )
 
 EXPERIMENTS: dict[str, ExperimentSpec] = {spec.exp_id: spec for spec in _SPECS}

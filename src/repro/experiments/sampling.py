@@ -1,0 +1,165 @@
+"""The unified sampling facade: one keyword-only entry point for all draws.
+
+:func:`sample` subsumes the historical ``sample_sort_steps`` /
+``sample_statistic_after_steps`` pair (both still importable, both now
+``DeprecationWarning`` shims) and fronts the :mod:`repro.campaign` engine:
+
+* ``workers=1`` with no sharding knobs runs **in-process**, drawing the
+  exact same stream as the historical samplers — existing seeds keep
+  producing bit-identical values;
+* any of ``workers != 1``, ``shard_size=...`` or ``checkpoint_dir=...``
+  switches to **campaign mode**: the trial budget is cut into
+  ``SeedSequence.spawn``-seeded shards, optionally fanned out over a
+  process pool and checkpointed for resume.  Campaign samples are
+  deterministic in the spec alone (worker count never changes values),
+  but the sharded stream differs from the in-process one — pick a mode
+  per experiment and keep it.
+
+Both paths return the same :class:`~repro.campaign.result.SampleResult`.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.campaign.result import SampleResult
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import KINDS, CampaignSpec
+from repro.core.runner import resolve_algorithm
+from repro.core.schedule import Schedule
+from repro.errors import DimensionError
+from repro.experiments.montecarlo import _sort_steps_values, _statistic_values
+from repro.obs.events import Observer
+
+__all__ = ["sample"]
+
+
+def sample(
+    algorithm: str | Schedule,
+    *,
+    side: int,
+    trials: int,
+    kind: str = "sort_steps",
+    statistic: Callable | None = None,
+    num_steps: int = 1,
+    seed: Any = 0,
+    input_kind: str | None = None,
+    max_steps: int | None = None,
+    batch_size: int | None = None,
+    observer: Observer | None = None,
+    backend: str = "vectorized",
+    workers: int = 1,
+    shard_size: int | None = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    retries: int = 2,
+    max_shards: int | None = None,
+) -> SampleResult:
+    """Draw a Monte-Carlo sample for ``algorithm`` on a ``side``×``side`` grid.
+
+    Parameters
+    ----------
+    kind:
+        ``"sort_steps"`` (default) samples the number of steps to sort a
+        random input to completion; ``"statistic"`` applies ``statistic``
+        to each grid after ``num_steps`` steps and samples its value.
+    statistic:
+        Required for (and only allowed with) ``kind="statistic"``.  A
+        callable ``grid_batch -> per-grid values``; must be a picklable
+        module-level function when campaign mode uses worker processes.
+    input_kind:
+        ``"permutation"`` or ``"zero_one"``; defaults to ``"permutation"``
+        for ``sort_steps`` and ``"zero_one"`` for ``statistic`` (the
+        paper's conventions).
+    workers, shard_size, checkpoint_dir, resume, retries, max_shards:
+        Campaign-mode knobs — see :func:`repro.campaign.run_campaign`.
+        Any of ``workers != 1``, an explicit ``shard_size``, or a
+        ``checkpoint_dir`` selects campaign mode (``shard_size`` defaults
+        to 64 there).  ``observer`` receives campaign-level events in
+        campaign mode and per-run events in-process.
+
+    Returns
+    -------
+    SampleResult
+        Per-trial values, :class:`TrialStats`, and provenance ``meta``
+        (``meta["mode"]`` is ``"in-process"`` or ``"campaign"``).
+    """
+    if kind not in KINDS:
+        raise DimensionError(f"kind must be one of {KINDS}, got {kind!r}")
+    campaign_mode = (
+        workers != 1 or shard_size is not None or checkpoint_dir is not None
+    )
+    if campaign_mode:
+        spec = CampaignSpec(
+            algorithm=algorithm,
+            side=side,
+            trials=trials,
+            kind=kind,
+            input_kind=input_kind,
+            seed=seed,
+            backend=backend,
+            statistic=statistic,
+            num_steps=num_steps,
+            max_steps=max_steps,
+            shard_size=64 if shard_size is None else shard_size,
+            batch_size=batch_size,
+        )
+        return run_campaign(
+            spec,
+            workers=workers,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            observer=observer,
+            retries=retries,
+            max_shards=max_shards,
+        )
+
+    # In-process path: the historical single-stream draw, bit-identical to
+    # the deprecated sample_* functions for the same arguments.
+    if kind == "statistic" and statistic is None:
+        raise DimensionError("kind='statistic' requires a statistic callable")
+    if kind == "sort_steps" and statistic is not None:
+        raise DimensionError("kind='sort_steps' takes no statistic")
+    clock = time.perf_counter()
+    if kind == "sort_steps":
+        values = _sort_steps_values(
+            algorithm,
+            side,
+            trials,
+            seed=seed,
+            max_steps=max_steps,
+            input_kind="permutation" if input_kind is None else input_kind,
+            batch_size=batch_size,
+            observer=observer,
+            backend=backend,
+        )
+    else:
+        values = _statistic_values(
+            algorithm,
+            side,
+            trials,
+            statistic,
+            num_steps=num_steps,
+            seed=seed,
+            input_kind="zero_one" if input_kind is None else input_kind,
+            batch_size=batch_size,
+            observer=observer,
+            backend=backend,
+        )
+    elapsed = time.perf_counter() - clock
+    meta: dict[str, Any] = {
+        "mode": "in-process",
+        "algorithm": resolve_algorithm(algorithm).name,
+        "side": side,
+        "trials": int(values.size),
+        "kind": kind,
+        "input_kind": input_kind
+        or ("permutation" if kind == "sort_steps" else "zero_one"),
+        "seed": seed if isinstance(seed, (int, tuple, list)) else None,
+        "backend": backend,
+        "workers": 1,
+        "elapsed": elapsed,
+    }
+    return SampleResult.from_values(values, meta)

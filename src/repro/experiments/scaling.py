@@ -14,7 +14,7 @@ import math
 from repro.baselines.shearsort import shearsort
 from repro.core.algorithms import ALGORITHM_NAMES
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.montecarlo import sample_sort_steps, summarize
+from repro.experiments.sampling import sample
 from repro.experiments.tables import Table
 from repro.theory.bounds import diameter_lower_bound
 
@@ -43,20 +43,18 @@ def exp_scaling(cfg: ExperimentConfig) -> Table:
         n_cells = side * side
         norm_shear = side * max(math.log2(side), 1.0)
         for name in ALGORITHM_NAMES:
-            steps = sample_sort_steps(name, side, cfg.trials,
-                                      seed=(cfg.seed, side, 21),
-                                      backend=cfg.backend)
-            stats = summarize(steps)
+            stats = sample(name, side=side, trials=cfg.trials,
+                           seed=(cfg.seed, side, 21),
+                           **cfg.sampler_kwargs).stats
             table.add_row(
                 name, side, n_cells, stats.mean,
                 stats.mean / n_cells, stats.mean / norm_shear,
                 diameter_lower_bound(side),
             )
-        shear_steps = sample_sort_steps(
-            shearsort(side), side, cfg.trials, seed=(cfg.seed, side, 22),
-            backend=cfg.backend,
-        )
-        shear_stats = summarize(shear_steps)
+        shear_stats = sample(
+            shearsort(side), side=side, trials=cfg.trials,
+            seed=(cfg.seed, side, 22), **cfg.sampler_kwargs,
+        ).stats
         table.add_row(
             "shearsort (baseline)", side, n_cells, shear_stats.mean,
             shear_stats.mean / n_cells, shear_stats.mean / norm_shear,

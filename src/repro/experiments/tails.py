@@ -13,7 +13,7 @@ from fractions import Fraction
 import numpy as np
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.montecarlo import sample_sort_steps
+from repro.experiments.sampling import sample
 from repro.experiments.tables import Table
 from repro.theory.chebyshev import (
     theorem3_tail_bound,
@@ -51,10 +51,10 @@ def exp_tails(cfg: ExperimentConfig) -> Table:
     )
     for algorithm, theorem, salt, bound_fn, gammas in _TAIL_CASES:
         for side in cfg.even_sides:
-            steps = sample_sort_steps(
-                algorithm, side, cfg.trials, seed=(cfg.seed, side, salt),
-                backend=cfg.backend,
-            )
+            steps = sample(
+                algorithm, side=side, trials=cfg.trials,
+                seed=(cfg.seed, side, salt), **cfg.sampler_kwargs,
+            ).values
             n_cells = side * side
             for gamma in gammas:
                 empirical = float(np.mean(steps <= float(gamma) * n_cells))
@@ -75,10 +75,10 @@ def exp_theorem12_tail(cfg: ExperimentConfig) -> Table:
         headers=["side", "N", "delta", "empirical", "bound delta/2 + delta/(2N)", "consistent"],
     )
     for side in cfg.even_sides + cfg.odd_sides:
-        steps = sample_sort_steps(
-            "snake_3", side, cfg.trials, seed=(cfg.seed, side, 12),
-            backend=cfg.backend,
-        )
+        steps = sample(
+            "snake_3", side=side, trials=cfg.trials,
+            seed=(cfg.seed, side, 12), **cfg.sampler_kwargs,
+        ).values
         n_cells = side * side
         for delta in (0.25, 0.5, 1.0):
             empirical = float(np.mean(steps < delta * n_cells))

@@ -19,18 +19,27 @@ context), every executor runs its original uninstrumented loop — dispatch is
 guarded per run, not per cell.  See docs/OBSERVABILITY.md.
 """
 
-from repro.obs.context import get_active_observer, resolve_observer, use_observer
+from repro.obs.context import (
+    get_active_observer,
+    no_observer,
+    resolve_observer,
+    use_observer,
+)
 from repro.obs.events import (
+    CampaignEnd,
+    CampaignStart,
     CompositeObserver,
     CycleEvent,
     Observer,
     RecordingObserver,
     RunEnd,
     RunStart,
+    ShardEnd,
     StepEvent,
 )
 from repro.obs.manifest import (
     RunManifest,
+    array_digest,
     load_manifest,
     replay_command,
     table_digest,
@@ -62,10 +71,14 @@ __all__ = [
     "StepEvent",
     "CycleEvent",
     "RunEnd",
+    "CampaignStart",
+    "ShardEnd",
+    "CampaignEnd",
     "CompositeObserver",
     "RecordingObserver",
     # context
     "use_observer",
+    "no_observer",
     "get_active_observer",
     "resolve_observer",
     # metrics
@@ -92,6 +105,7 @@ __all__ = [
     "load_manifest",
     "replay_command",
     "table_digest",
+    "array_digest",
     # progress
     "ProgressPrinter",
 ]

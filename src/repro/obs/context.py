@@ -26,7 +26,7 @@ from typing import Iterator, Optional, TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.events import Observer
 
-__all__ = ["use_observer", "get_active_observer", "resolve_observer"]
+__all__ = ["use_observer", "no_observer", "get_active_observer", "resolve_observer"]
 
 _ACTIVE: ContextVar[tuple["Observer", ...]] = ContextVar("repro_obs_active", default=())
 
@@ -37,6 +37,24 @@ def use_observer(observer: "Observer") -> Iterator["Observer"]:
     token = _ACTIVE.set(_ACTIVE.get() + (observer,))
     try:
         yield observer
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextmanager
+def no_observer() -> Iterator[None]:
+    """Suppress any ambient observer for the ``with`` body.
+
+    Campaign shard execution runs under this: a forked worker process
+    inherits the parent's ambient observer stack, and letting a shard's
+    thousands of per-step events stream into (say) the parent's JSONL sink
+    from several processes at once would interleave garbage.  Shards are
+    therefore unobserved at the run level; the campaign runner reports
+    shard-granular progress from the coordinating process instead.
+    """
+    token = _ACTIVE.set(())
+    try:
+        yield
     finally:
         _ACTIVE.reset(token)
 

@@ -26,6 +26,21 @@ working buffers to avoid copies on the hot path.  Dispatch is guarded at
 the run level — an executor given no observer runs its original uninstrumented
 loop, which is the package's zero-overhead-when-disabled guarantee (see
 docs/OBSERVABILITY.md).
+
+On top of the run-level stream, the sharded campaign layer
+(:mod:`repro.campaign`) reports three **campaign-level** events, emitted by
+the campaign runner in the coordinating process (never from workers — a
+shard executing in a worker process is deliberately unobserved at the run
+level, since its events could not reach the parent's observer anyway):
+
+``on_campaign_start``
+    Once per campaign, with the shard plan (trials, shards, workers,
+    backend) and how many shards were restored from a checkpoint.
+``on_shard_end``
+    Once per shard as it completes — whether computed fresh, retried after
+    a worker failure (``attempts > 1``), or restored from a checkpoint.
+``on_campaign_end``
+    Once per campaign with the completion tally and wall time.
 """
 
 from __future__ import annotations
@@ -40,6 +55,9 @@ __all__ = [
     "StepEvent",
     "CycleEvent",
     "RunEnd",
+    "CampaignStart",
+    "ShardEnd",
+    "CampaignEnd",
     "Observer",
     "CompositeObserver",
     "RecordingObserver",
@@ -111,6 +129,60 @@ class RunEnd:
     wall_time: float = 0.0
 
 
+@dataclass(frozen=True)
+class CampaignStart:
+    """Static facts of a sharded Monte-Carlo campaign, before any shard runs.
+
+    ``campaign`` is the spec fingerprint (also the checkpoint file key);
+    ``resumed_shards`` counts shards restored from a checkpoint rather than
+    recomputed.
+    """
+
+    campaign: str
+    algorithm: str
+    side: int
+    trials: int
+    num_shards: int
+    shard_size: int
+    workers: int
+    backend: str
+    kind: str = "sort_steps"
+    resumed_shards: int = 0
+
+
+@dataclass(frozen=True)
+class ShardEnd:
+    """One shard of a campaign finished (fresh, retried, or from checkpoint).
+
+    ``attempts`` is 1 for a first-try success and grows with per-shard
+    retries after worker failures; ``from_checkpoint`` marks shards whose
+    values were restored rather than recomputed (their ``elapsed`` is 0).
+    """
+
+    campaign: str
+    index: int
+    trials: int
+    elapsed: float = 0.0
+    attempts: int = 1
+    from_checkpoint: bool = False
+
+
+@dataclass(frozen=True)
+class CampaignEnd:
+    """Outcome of a campaign: how much of the shard plan completed.
+
+    ``complete`` is False for budgeted partial runs (``max_shards``) —
+    a later ``resume=True`` run finishes the plan.
+    """
+
+    campaign: str
+    completed_shards: int
+    num_shards: int
+    trials: int
+    elapsed: float = 0.0
+    complete: bool = True
+
+
 class Observer:
     """Base observer: all hooks are no-ops; subclass and override.
 
@@ -135,6 +207,15 @@ class Observer:
         pass
 
     def on_run_end(self, event: RunEnd) -> None:  # pragma: no cover - no-op
+        pass
+
+    def on_campaign_start(self, event: CampaignStart) -> None:  # pragma: no cover - no-op
+        pass
+
+    def on_shard_end(self, event: ShardEnd) -> None:  # pragma: no cover - no-op
+        pass
+
+    def on_campaign_end(self, event: CampaignEnd) -> None:  # pragma: no cover - no-op
         pass
 
 
@@ -166,6 +247,18 @@ class CompositeObserver(Observer):
         for obs in self.observers:
             obs.on_run_end(event)
 
+    def on_campaign_start(self, event: CampaignStart) -> None:
+        for obs in self.observers:
+            obs.on_campaign_start(event)
+
+    def on_shard_end(self, event: ShardEnd) -> None:
+        for obs in self.observers:
+            obs.on_shard_end(event)
+
+    def on_campaign_end(self, event: CampaignEnd) -> None:
+        for obs in self.observers:
+            obs.on_campaign_end(event)
+
 
 class RecordingObserver(Observer):
     """Keep every event in memory — the test-suite workhorse.
@@ -183,6 +276,9 @@ class RecordingObserver(Observer):
         self.steps: list[StepEvent] = []
         self.cycles: list[CycleEvent] = []
         self.run_ends: list[RunEnd] = []
+        self.campaign_starts: list[CampaignStart] = []
+        self.shard_ends: list[ShardEnd] = []
+        self.campaign_ends: list[CampaignEnd] = []
 
     def on_run_start(self, event: RunStart) -> None:
         self.run_starts.append(event)
@@ -206,6 +302,15 @@ class RecordingObserver(Observer):
 
     def on_run_end(self, event: RunEnd) -> None:
         self.run_ends.append(event)
+
+    def on_campaign_start(self, event: CampaignStart) -> None:
+        self.campaign_starts.append(event)
+
+    def on_shard_end(self, event: ShardEnd) -> None:
+        self.shard_ends.append(event)
+
+    def on_campaign_end(self, event: CampaignEnd) -> None:
+        self.campaign_ends.append(event)
 
     @property
     def step_times(self) -> list[int]:

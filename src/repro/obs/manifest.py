@@ -29,6 +29,7 @@ __all__ = [
     "MANIFEST_SCHEMA_VERSION",
     "RunManifest",
     "table_digest",
+    "array_digest",
     "write_manifest",
     "load_manifest",
     "replay_command",
@@ -42,14 +43,33 @@ def table_digest(table) -> str:
     return hashlib.blake2b(table.to_text().encode(), digest_size=8).hexdigest()
 
 
+def array_digest(values) -> str:
+    """Stable digest of a numeric sample (dtype + shape + raw bytes).
+
+    Used by campaign manifests and the determinism tests: two samples get
+    the same digest iff they are bit-identical arrays, which is exactly
+    the "same aggregate regardless of worker count / resume" guarantee.
+    """
+    import numpy as np
+
+    arr = np.ascontiguousarray(values)
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str(arr.dtype).encode())
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
 @dataclass
 class RunManifest:
     """Reproducibility record of one experiment (or raw executor) run."""
 
-    kind: str  # "experiment" | "run"
+    kind: str  # "experiment" | "run" | "campaign"
     exp_id: str = ""
     algorithm: str = ""
-    seed: int | None = None
+    # Campaign manifests may carry the experiments' composite (root, side,
+    # salt) seed tuples; JSON round-trips them as lists.
+    seed: int | tuple[int, ...] | list[int] | None = None
     scale: str = ""
     side: int | None = None
     elapsed_seconds: float | None = None
@@ -62,9 +82,10 @@ class RunManifest:
     extra: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.kind not in ("experiment", "run"):
+        if self.kind not in ("experiment", "run", "campaign"):
             raise DimensionError(
-                f"manifest kind must be 'experiment' or 'run', got {self.kind!r}"
+                "manifest kind must be 'experiment', 'run', or 'campaign', "
+                f"got {self.kind!r}"
             )
         if not self.created:
             self.created = datetime.now(timezone.utc).isoformat(timespec="seconds")

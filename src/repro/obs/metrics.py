@@ -26,7 +26,16 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import DimensionError
-from repro.obs.events import CycleEvent, Observer, RunEnd, RunStart, StepEvent
+from repro.obs.events import (
+    CampaignEnd,
+    CampaignStart,
+    CycleEvent,
+    Observer,
+    RunEnd,
+    RunStart,
+    ShardEnd,
+    StepEvent,
+)
 
 __all__ = [
     "Counter",
@@ -289,6 +298,12 @@ class MetricsObserver(Observer):
     ``repro_comparisons_total``, ``repro_step_swaps`` (histogram),
     ``repro_run_steps`` (histogram), ``repro_run_seconds`` (timer).
 
+    Campaign-level events add ``repro_campaigns_total``,
+    ``repro_campaign_shards_total`` / ``repro_campaign_shard_retries_total``
+    / ``repro_campaign_shards_resumed_total``,
+    ``repro_campaign_trials_total``, and the ``repro_shard_seconds`` timer
+    (checkpoint-restored shards are counted but not timed).
+
     Swap tallies on the vectorized backends require diffing the whole grid
     every step, so they are off by default there — run/step counts and
     wall-time stay cheap.  Pass ``swap_detail=True`` to opt into exact
@@ -316,6 +331,26 @@ class MetricsObserver(Observer):
         self._run_seconds = reg.timer(
             "repro_run_seconds", "kernel wall-time per run"
         )
+        self._campaigns = reg.counter(
+            "repro_campaigns_total", "Monte-Carlo campaigns observed"
+        )
+        self._shards = reg.counter(
+            "repro_campaign_shards_total", "campaign shards completed"
+        )
+        self._shard_retries = reg.counter(
+            "repro_campaign_shard_retries_total",
+            "extra shard attempts after worker failures",
+        )
+        self._shards_resumed = reg.counter(
+            "repro_campaign_shards_resumed_total",
+            "campaign shards restored from checkpoints",
+        )
+        self._campaign_trials = reg.counter(
+            "repro_campaign_trials_total", "trials aggregated by campaigns"
+        )
+        self._shard_seconds = reg.timer(
+            "repro_shard_seconds", "wall-time per computed campaign shard"
+        )
 
     def on_run_start(self, event: RunStart) -> None:
         self._runs.inc()
@@ -341,6 +376,21 @@ class MetricsObserver(Observer):
         for v in flat:
             if v >= 0:
                 self._run_steps.observe(v)
+
+    def on_campaign_start(self, event: CampaignStart) -> None:
+        self._campaigns.inc()
+
+    def on_shard_end(self, event: ShardEnd) -> None:
+        self._shards.inc()
+        if event.attempts > 1:
+            self._shard_retries.inc(event.attempts - 1)
+        if event.from_checkpoint:
+            self._shards_resumed.inc()
+        else:
+            self._shard_seconds.observe(max(0.0, event.elapsed))
+
+    def on_campaign_end(self, event: CampaignEnd) -> None:
+        self._campaign_trials.inc(event.trials)
 
 
 def _iter_steps_values(steps: Any):

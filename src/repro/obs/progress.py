@@ -14,7 +14,14 @@ from typing import TextIO
 
 import numpy as np
 
-from repro.obs.events import Observer, RunEnd, RunStart
+from repro.obs.events import (
+    CampaignEnd,
+    CampaignStart,
+    Observer,
+    RunEnd,
+    RunStart,
+    ShardEnd,
+)
 from repro.obs.timing import format_seconds
 
 __all__ = ["ProgressPrinter"]
@@ -36,7 +43,9 @@ class ProgressPrinter(Observer):
         self.runs_started = 0
         self.runs_finished = 0
         self.steps_total = 0
+        self.shards_finished = 0
         self._current: RunStart | None = None
+        self._campaign_shards = 0
 
     def _say(self, message: str) -> None:
         print(f"{self.prefix}{message}", file=self.stream, flush=True)
@@ -66,6 +75,46 @@ class ProgressPrinter(Observer):
                 f"run {self.runs_finished} done in {format_seconds(event.wall_time)} "
                 f"({self.steps_total} steps observed so far)"
             )
+
+    def on_campaign_start(self, event: CampaignStart) -> None:
+        self.shards_finished = 0
+        self._campaign_shards = event.num_shards
+        resumed = (
+            f", {event.resumed_shards} from checkpoint"
+            if event.resumed_shards
+            else ""
+        )
+        self._say(
+            f"campaign {event.campaign[:12]}: {event.algorithm} "
+            f"side={event.side} trials={event.trials} "
+            f"({event.num_shards} shards x{event.workers} workers{resumed})"
+        )
+
+    def on_shard_end(self, event: ShardEnd) -> None:
+        self.shards_finished += 1
+        # Shards are coarse (seconds each), so throttle far less than runs.
+        if (
+            event.from_checkpoint
+            or self.shards_finished % max(1, self.every // 5) == 0
+            or self.shards_finished == self._campaign_shards
+        ):
+            source = "checkpoint" if event.from_checkpoint else (
+                format_seconds(event.elapsed)
+                + (f", attempt {event.attempts}" if event.attempts > 1 else "")
+            )
+            self._say(
+                f"shard {event.index} done ({event.trials} trials, {source}) "
+                f"[{self.shards_finished}/{self._campaign_shards}]"
+            )
+
+    def on_campaign_end(self, event: CampaignEnd) -> None:
+        state = "complete" if event.complete else (
+            f"partial: {event.completed_shards}/{event.num_shards} shards"
+        )
+        self._say(
+            f"campaign {event.campaign[:12]} {state}: {event.trials} trials "
+            f"in {format_seconds(event.elapsed)}"
+        )
 
     def summary(self) -> str:
         return (

@@ -20,6 +20,9 @@ from repro.errors import DimensionError
 __all__ = [
     "as_generator",
     "spawn_generators",
+    "as_seed_sequence",
+    "shard_counts",
+    "shard_seed_sequence",
     "random_permutation_grid",
     "random_zero_one_grid",
     "paper_zero_count",
@@ -44,6 +47,55 @@ def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
     if not isinstance(seed, np.random.SeedSequence):
         seed = np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in seed.spawn(count)]
+
+
+def as_seed_sequence(seed: SeedLike | tuple[int, ...]) -> np.random.SeedSequence:
+    """Coerce ``seed`` to a :class:`numpy.random.SeedSequence`.
+
+    Accepts ints, tuples of ints (the experiments' ``(root, side, salt)``
+    convention), ``None`` (fresh OS entropy), and ``SeedSequence`` itself.
+    :class:`numpy.random.Generator` is rejected: a generator is a consumed
+    stream, not a replayable seed, and the campaign layer needs seeds that
+    can be re-derived identically on every worker.
+    """
+    if isinstance(seed, np.random.Generator):
+        raise DimensionError(
+            "a Generator cannot be used as a shardable seed; pass an int, "
+            "a tuple of ints, or a SeedSequence"
+        )
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(seed)
+
+
+def shard_counts(trials: int, shard_size: int) -> list[int]:
+    """Trial counts per shard: full shards of ``shard_size`` plus a remainder.
+
+    The plan depends only on ``(trials, shard_size)``, never on worker
+    count, which is what makes campaign aggregates worker-count invariant.
+    """
+    if trials < 1:
+        raise DimensionError(f"trials must be positive, got {trials}")
+    if shard_size < 1:
+        raise DimensionError(f"shard_size must be positive, got {shard_size}")
+    full, rest = divmod(trials, shard_size)
+    return [shard_size] * full + ([rest] if rest else [])
+
+
+def shard_seed_sequence(
+    seed: SeedLike | tuple[int, ...], index: int
+) -> np.random.SeedSequence:
+    """The ``index``-th child stream of ``SeedSequence(seed)``.
+
+    Equal to ``as_seed_sequence(seed).spawn(n)[index]`` for any ``n >
+    index`` (``SeedSequence.spawn`` keys children only by their spawn
+    position), so any worker can re-derive its shard's stream from just
+    ``(root seed, shard index)`` — no spawned state needs shipping.
+    """
+    if index < 0:
+        raise DimensionError(f"shard index must be >= 0, got {index}")
+    root = as_seed_sequence(seed)
+    return np.random.SeedSequence(root.entropy, spawn_key=(*root.spawn_key, index))
 
 
 def random_permutation_grid(

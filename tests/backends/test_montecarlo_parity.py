@@ -14,8 +14,8 @@ import pytest
 from repro.errors import DimensionError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.montecarlo import (
-    sample_sort_steps,
-    sample_statistic_after_steps,
+    _sort_steps_values as sample_sort_steps,
+    _statistic_values as sample_statistic_after_steps,
 )
 from repro.zeroone.weights import first_column_zeros
 

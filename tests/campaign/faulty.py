@@ -1,0 +1,41 @@
+"""Fault-injecting statistics for campaign retry/crash tests.
+
+These must live in an importable module (not a test body, not a lambda)
+because campaign workers receive the statistic by pickle.  Fault state is
+a marker *file* — visible across process boundaries, unlike an in-memory
+flag — whose path travels to workers through the environment (inherited
+on fork).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+MARKER_ENV = "REPRO_TEST_FAULT_MARKER"
+
+
+def _marker() -> Path | None:
+    path = os.environ.get(MARKER_ENV)
+    return Path(path) if path else None
+
+
+def flaky_statistic(grids: np.ndarray) -> np.ndarray:
+    """Fails while the marker file exists, consuming it on first hit.
+
+    The first shard attempt to run while the marker is present deletes it
+    and raises; every later attempt (and every other shard) succeeds — the
+    shape of a transient worker fault.
+    """
+    marker = _marker()
+    if marker is not None and marker.exists():
+        marker.unlink()
+        raise RuntimeError("injected transient fault")
+    return np.asarray(grids.sum(axis=(-2, -1)), dtype=np.float64)
+
+
+def broken_statistic(grids: np.ndarray) -> np.ndarray:
+    """Fails unconditionally — the shape of a deterministic bug."""
+    raise RuntimeError("injected permanent fault")

@@ -1,0 +1,209 @@
+"""Checkpoint/resume: interrupted campaigns finish bit-identical."""
+
+from __future__ import annotations
+
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    CheckpointStore,
+    checkpoint_path,
+    run_campaign,
+)
+from repro.errors import CampaignError, CheckpointError
+from repro.obs import RecordingObserver, load_manifest
+from tests.campaign.faulty import MARKER_ENV, flaky_statistic
+
+SPEC = CampaignSpec("snake_1", side=6, trials=40, seed=99, shard_size=8)
+
+
+class TestResume:
+    def test_partial_then_resume_is_bit_identical(self, tmp_path):
+        """The acceptance scenario: stop a campaign mid-flight, resume it,
+        and the merged sample equals the uninterrupted run exactly."""
+        uninterrupted = run_campaign(SPEC, workers=1)
+
+        partial = run_campaign(
+            SPEC, workers=1, checkpoint_dir=tmp_path, max_shards=2
+        )
+        assert not partial.complete
+        assert partial.meta["completed_shards"] == 2
+        np.testing.assert_array_equal(partial.values, uninterrupted.values[:16])
+
+        resumed = run_campaign(
+            SPEC, workers=2, checkpoint_dir=tmp_path, resume=True
+        )
+        assert resumed.complete
+        assert resumed.meta["resumed_shards"] == 2
+        np.testing.assert_array_equal(resumed.values, uninterrupted.values)
+        assert resumed.values_digest == uninterrupted.values_digest
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_resume_digest_invariant_to_workers(self, tmp_path, workers):
+        baseline = run_campaign(SPEC, workers=1)
+        run_campaign(SPEC, workers=1, checkpoint_dir=tmp_path, max_shards=3)
+        resumed = run_campaign(
+            SPEC, workers=workers, checkpoint_dir=tmp_path, resume=True
+        )
+        assert resumed.values_digest == baseline.values_digest
+
+    def test_failed_campaign_is_resumable(self, tmp_path, monkeypatch):
+        """A campaign aborted by a persistent shard failure leaves a valid
+        checkpoint; once the fault clears, resume completes the plan with
+        values identical to a never-failed run."""
+        marker = tmp_path / "fault"
+        marker.touch()
+        monkeypatch.setenv(MARKER_ENV, str(marker))
+        spec = CampaignSpec(
+            "snake_1", side=6, trials=32, seed=7, shard_size=8,
+            kind="statistic", statistic=flaky_statistic,
+        )
+        with pytest.raises(CampaignError):
+            run_campaign(spec, workers=1, retries=0, checkpoint_dir=tmp_path)
+        assert not marker.exists()  # the failing attempt consumed the fault
+
+        resumed = run_campaign(
+            spec, workers=1, checkpoint_dir=tmp_path, resume=True
+        )
+        baseline = run_campaign(spec, workers=1)
+        np.testing.assert_array_equal(resumed.values, baseline.values)
+
+    def test_kill_mid_flight_subprocess(self, tmp_path):
+        """Kill a campaign process with SIGKILL mid-run; the checkpoint
+        recovers every fully-written shard and resume matches exactly."""
+        repo_root = Path(__file__).resolve().parents[2]
+        code = f"""
+import sys
+sys.path.insert(0, {str(repo_root / "src")!r})
+from repro.campaign import CampaignSpec, run_campaign
+from repro.obs.events import Observer
+
+class Suicide(Observer):
+    def __init__(self):
+        self.n = 0
+    def on_shard_end(self, event):
+        self.n += 1
+        if self.n == 3:
+            import os, signal
+            os.kill(os.getpid(), signal.SIGKILL)
+
+spec = CampaignSpec("snake_1", side=6, trials=40, seed=99, shard_size=8)
+run_campaign(spec, workers=1, checkpoint_dir={str(tmp_path)!r},
+             observer=Suicide())
+"""
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, timeout=120
+        )
+        assert proc.returncode == -signal.SIGKILL
+
+        store = CheckpointStore(checkpoint_path(tmp_path, SPEC), SPEC)
+        recovered = store.load()
+        assert len(recovered) == 3
+
+        uninterrupted = run_campaign(SPEC, workers=1)
+        resumed = run_campaign(
+            SPEC, workers=2, checkpoint_dir=tmp_path, resume=True
+        )
+        assert resumed.meta["resumed_shards"] == 3
+        np.testing.assert_array_equal(resumed.values, uninterrupted.values)
+
+    def test_resumed_shards_reported_to_observer(self, tmp_path):
+        run_campaign(SPEC, workers=1, checkpoint_dir=tmp_path, max_shards=2)
+        rec = RecordingObserver()
+        run_campaign(
+            SPEC, workers=1, checkpoint_dir=tmp_path, resume=True, observer=rec
+        )
+        assert rec.campaign_starts[0].resumed_shards == 2
+        from_ckpt = [e for e in rec.shard_ends if e.from_checkpoint]
+        assert len(from_ckpt) == 2
+
+
+class TestStoreEdgeCases:
+    def test_torn_tail_is_skipped(self, tmp_path):
+        run_campaign(SPEC, workers=1, checkpoint_dir=tmp_path, max_shards=3)
+        path = checkpoint_path(tmp_path, SPEC)
+        with path.open("a") as fh:
+            fh.write('{"shard": 3, "trials": 8, "values": [1, 2')  # torn
+        recovered = CheckpointStore(path, SPEC).load()
+        assert sorted(recovered) == [0, 1, 2]
+
+    def test_corrupt_middle_line_is_an_error(self, tmp_path):
+        run_campaign(SPEC, workers=1, checkpoint_dir=tmp_path, max_shards=2)
+        path = checkpoint_path(tmp_path, SPEC)
+        lines = path.read_text().splitlines()
+        lines.insert(2, "{garbage")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            CheckpointStore(path, SPEC).load()
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        run_campaign(SPEC, workers=1, checkpoint_dir=tmp_path, max_shards=2)
+        other = CampaignSpec("snake_2", side=6, trials=40, seed=99, shard_size=8)
+        path = checkpoint_path(tmp_path, SPEC)
+        with pytest.raises(CheckpointError, match="different"):
+            CheckpointStore(path, other).load()
+
+    def test_resume_on_other_backend_allowed(self, tmp_path):
+        """Backends sample bit-identically, so the fingerprint (hence the
+        checkpoint) is shared across them by design."""
+        run_campaign(SPEC, workers=1, checkpoint_dir=tmp_path, max_shards=4)
+        ref = CampaignSpec(
+            "snake_1", side=6, trials=40, seed=99, shard_size=8,
+            backend="reference",
+        )
+        assert ref.fingerprint == SPEC.fingerprint
+        resumed = run_campaign(ref, workers=1, checkpoint_dir=tmp_path, resume=True)
+        np.testing.assert_array_equal(
+            resumed.values, run_campaign(SPEC, workers=1).values
+        )
+
+    def test_not_a_checkpoint_file(self, tmp_path):
+        path = tmp_path / "campaign-bogus.jsonl"
+        path.write_text("just some text\n")
+        with pytest.raises(CheckpointError):
+            CheckpointStore(path, SPEC).load()
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        store = CheckpointStore(tmp_path / "nope.jsonl", SPEC)
+        assert store.load() == {}
+
+    def test_append_requires_open(self, tmp_path):
+        store = CheckpointStore(tmp_path / "c.jsonl", SPEC)
+        with pytest.raises(CheckpointError, match="not open"):
+            store.append(0, np.array([1]), 0.0)
+
+    def test_fresh_open_truncates(self, tmp_path):
+        run_campaign(SPEC, workers=1, checkpoint_dir=tmp_path, max_shards=3)
+        result = run_campaign(SPEC, workers=1, checkpoint_dir=tmp_path)
+        assert result.meta["resumed_shards"] == 0
+        assert result.complete
+
+    def test_manifest_written_with_digest(self, tmp_path):
+        result = run_campaign(SPEC, workers=1, checkpoint_dir=tmp_path)
+        manifest_path = checkpoint_path(tmp_path, SPEC).with_suffix(
+            ".manifest.json"
+        )
+        manifest = load_manifest(manifest_path)
+        assert manifest.kind == "campaign"
+        assert manifest.result_digest == result.values_digest
+        assert manifest.extra["campaign"] == SPEC.fingerprint
+
+    def test_float_values_roundtrip_exactly(self, tmp_path):
+        """JSON repr round-trips IEEE-754 doubles bit-for-bit — the property
+        the resume-equals-uninterrupted guarantee rests on."""
+        spec = CampaignSpec(
+            "snake_1", side=6, trials=24, seed=3, shard_size=8,
+            kind="statistic", statistic=flaky_statistic,
+        )
+        direct = run_campaign(spec, workers=1)
+        run_campaign(spec, workers=1, checkpoint_dir=tmp_path)
+        restored = CheckpointStore(checkpoint_path(tmp_path, spec), spec).load()
+        merged = np.concatenate([restored[i] for i in sorted(restored)])
+        np.testing.assert_array_equal(merged, direct.values)
+        assert merged.dtype == np.float64

@@ -1,0 +1,135 @@
+"""run_campaign: worker-count determinism, retry, fault tolerance, events."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.campaign import CampaignSpec, run_campaign
+from repro.errors import CampaignError, DimensionError
+from repro.obs import RecordingObserver
+from tests.campaign.faulty import MARKER_ENV, broken_statistic, flaky_statistic
+
+SPEC = CampaignSpec("snake_1", side=6, trials=40, seed=2026, shard_size=8)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_bit_identical_across_worker_counts(self, workers):
+        baseline = run_campaign(SPEC, workers=1)
+        result = run_campaign(SPEC, workers=workers)
+        np.testing.assert_array_equal(result.values, baseline.values)
+        assert result.values_digest == baseline.values_digest
+        assert result.values.dtype == np.int64
+
+    def test_backend_parity(self):
+        baseline = run_campaign(SPEC, workers=1)
+        spec_ref = CampaignSpec(
+            "snake_1", side=6, trials=40, seed=2026, shard_size=8,
+            backend="reference",
+        )
+        np.testing.assert_array_equal(
+            run_campaign(spec_ref, workers=1).values, baseline.values
+        )
+
+    def test_statistic_campaign_across_workers(self):
+        spec = CampaignSpec(
+            "snake_1", side=6, trials=32, seed=5, shard_size=8,
+            kind="statistic", statistic=flaky_statistic, num_steps=2,
+        )
+        a = run_campaign(spec, workers=1)
+        b = run_campaign(spec, workers=2)
+        np.testing.assert_array_equal(a.values, b.values)
+        assert a.values.dtype == np.float64
+
+    def test_shard_boundaries_do_change_values(self):
+        """shard_size is part of the identity: a different plan is a
+        different campaign, not a silent re-draw of the same one."""
+        other = CampaignSpec("snake_1", side=6, trials=40, seed=2026, shard_size=10)
+        assert not np.array_equal(
+            run_campaign(other).values, run_campaign(SPEC).values
+        )
+
+
+class TestRetry:
+    def test_transient_fault_is_retried(self, tmp_path, monkeypatch):
+        marker = tmp_path / "fault"
+        marker.touch()
+        monkeypatch.setenv(MARKER_ENV, str(marker))
+        spec = CampaignSpec(
+            "snake_1", side=6, trials=24, seed=1, shard_size=8,
+            kind="statistic", statistic=flaky_statistic,
+        )
+        result = run_campaign(spec, workers=1, retries=2)
+        assert not marker.exists()
+
+        clean = run_campaign(spec, workers=1)
+        np.testing.assert_array_equal(result.values, clean.values)
+
+    def test_transient_fault_is_retried_in_pool(self, tmp_path, monkeypatch):
+        marker = tmp_path / "fault"
+        marker.touch()
+        monkeypatch.setenv(MARKER_ENV, str(marker))
+        spec = CampaignSpec(
+            "snake_1", side=6, trials=24, seed=1, shard_size=8,
+            kind="statistic", statistic=flaky_statistic,
+        )
+        result = run_campaign(spec, workers=2, retries=2)
+        clean = run_campaign(spec, workers=1)
+        np.testing.assert_array_equal(result.values, clean.values)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_permanent_fault_exhausts_retries(self, workers):
+        spec = CampaignSpec(
+            "snake_1", side=6, trials=16, seed=1, shard_size=8,
+            kind="statistic", statistic=broken_statistic,
+        )
+        with pytest.raises(CampaignError) as excinfo:
+            run_campaign(spec, workers=workers, retries=1)
+        assert excinfo.value.failed_shards
+
+    def test_argument_validation(self):
+        with pytest.raises(DimensionError):
+            run_campaign(SPEC, workers=0)
+        with pytest.raises(DimensionError):
+            run_campaign(SPEC, retries=-1)
+        with pytest.raises(DimensionError, match="requires checkpoint_dir"):
+            run_campaign(SPEC, max_shards=2)
+
+
+class TestEventsAndMeta:
+    def test_campaign_events_emitted(self):
+        rec = RecordingObserver()
+        result = run_campaign(SPEC, workers=1, observer=rec)
+        assert len(rec.campaign_starts) == 1
+        start = rec.campaign_starts[0]
+        assert start.campaign == SPEC.fingerprint
+        assert start.num_shards == 5
+        assert start.workers == 1
+        assert len(rec.shard_ends) == 5
+        assert sum(e.trials for e in rec.shard_ends) == 40
+        assert len(rec.campaign_ends) == 1
+        end = rec.campaign_ends[0]
+        assert end.complete and end.trials == 40
+        assert result.meta["num_shards"] == 5
+
+    def test_no_per_step_events_leak_from_shards(self):
+        """Shard execution must not re-enter the ambient observer."""
+        from repro.obs import use_observer
+
+        rec = RecordingObserver()
+        with use_observer(rec):
+            run_campaign(SPEC, workers=1)
+        assert rec.run_starts == []
+        assert rec.steps == []
+        assert len(rec.campaign_starts) == 1
+
+    def test_meta_and_result_shape(self):
+        result = run_campaign(SPEC, workers=2)
+        assert result.complete
+        assert len(result) == 40
+        assert result.meta["mode"] == "campaign"
+        assert result.meta["workers"] == 2
+        assert result.meta["checkpoint"] is None
+        assert result.stats.count == 40
+        np.testing.assert_array_equal(np.asarray(result), result.values)

@@ -1,0 +1,126 @@
+"""CampaignSpec: shard plan, seeding, fingerprint identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.campaign import CampaignSpec, Shard
+from repro.errors import DimensionError
+from repro.randomness import shard_counts, shard_seed_sequence
+from repro.zeroone.weights import first_column_zeros
+
+
+class TestShardPlan:
+    def test_counts_cover_trials(self):
+        spec = CampaignSpec("snake_1", side=6, trials=100, shard_size=16)
+        plan = spec.shards()
+        assert sum(shard.trials for shard in plan) == 100
+        assert [shard.index for shard in plan] == list(range(len(plan)))
+        assert plan[:-1] == [Shard(i, 16) for i in range(6)]
+        assert plan[-1] == Shard(6, 4)
+
+    def test_exact_division_has_no_remainder_shard(self):
+        plan = CampaignSpec("snake_1", side=6, trials=64, shard_size=16).shards()
+        assert [shard.trials for shard in plan] == [16, 16, 16, 16]
+
+    def test_shard_counts_validate(self):
+        with pytest.raises(DimensionError):
+            shard_counts(0, 4)
+        with pytest.raises(DimensionError):
+            shard_counts(4, 0)
+
+    def test_shard_seeds_match_seedsequence_spawn(self):
+        """Shard i's stream IS SeedSequence.spawn child i — re-derived
+        statelessly, so any worker computes the same one."""
+        for seed in (0, 12345, (2026, 8, 3)):
+            spec = CampaignSpec("snake_1", side=6, trials=48, shard_size=16, seed=seed)
+            children = np.random.SeedSequence(
+                list(seed) if isinstance(seed, tuple) else seed
+            ).spawn(3)
+            for i, child in enumerate(children):
+                ours = spec.shard_seed(i)
+                assert ours.spawn_key == child.spawn_key
+                np.testing.assert_array_equal(
+                    ours.generate_state(4), child.generate_state(4)
+                )
+
+    def test_shard_seed_sequence_streams_differ(self):
+        a = shard_seed_sequence(7, 0).generate_state(4)
+        b = shard_seed_sequence(7, 1).generate_state(4)
+        assert not np.array_equal(a, b)
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(DimensionError, match="kind"):
+            CampaignSpec("snake_1", side=6, trials=8, kind="medians")
+
+    def test_statistic_pairing(self):
+        with pytest.raises(DimensionError, match="requires a statistic"):
+            CampaignSpec("snake_1", side=6, trials=8, kind="statistic")
+        with pytest.raises(DimensionError, match="no statistic"):
+            CampaignSpec(
+                "snake_1", side=6, trials=8, statistic=first_column_zeros
+            )
+
+    def test_unknown_backend(self):
+        with pytest.raises(DimensionError, match="unknown backend"):
+            CampaignSpec("snake_1", side=6, trials=8, backend="gpu")
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(Exception, match="unknown algorithm"):
+            CampaignSpec("bogo_sort", side=6, trials=8)
+
+    def test_default_input_kinds(self):
+        assert CampaignSpec("snake_1", side=6, trials=8).input_kind == "permutation"
+        assert (
+            CampaignSpec(
+                "snake_1", side=6, trials=8, kind="statistic",
+                statistic=first_column_zeros,
+            ).input_kind
+            == "zero_one"
+        )
+
+
+class TestFingerprint:
+    def test_stable_across_equivalent_specs(self):
+        a = CampaignSpec("snake_1", side=6, trials=64, seed=9)
+        b = CampaignSpec("snake_1", side=6, trials=64, seed=9)
+        assert a.fingerprint == b.fingerprint
+
+    def test_value_determining_fields_change_it(self):
+        base = CampaignSpec("snake_1", side=6, trials=64, seed=9)
+        for other in (
+            CampaignSpec("snake_2", side=6, trials=64, seed=9),
+            CampaignSpec("snake_1", side=8, trials=64, seed=9),
+            CampaignSpec("snake_1", side=6, trials=65, seed=9),
+            CampaignSpec("snake_1", side=6, trials=64, seed=10),
+            CampaignSpec("snake_1", side=6, trials=64, seed=9, shard_size=32),
+        ):
+            assert other.fingerprint != base.fingerprint
+
+    def test_backend_and_batch_size_excluded(self):
+        """Backends are cross-validated bit-identical and draws are
+        batch-size invariant, so neither invalidates a checkpoint."""
+        base = CampaignSpec("snake_1", side=6, trials=64, seed=9)
+        assert (
+            CampaignSpec(
+                "snake_1", side=6, trials=64, seed=9, backend="reference"
+            ).fingerprint
+            == base.fingerprint
+        )
+        assert (
+            CampaignSpec(
+                "snake_1", side=6, trials=64, seed=9, batch_size=4
+            ).fingerprint
+            == base.fingerprint
+        )
+
+    def test_dtype_per_kind(self):
+        assert CampaignSpec("snake_1", side=6, trials=8).values_dtype == "int64"
+        spec = CampaignSpec(
+            "snake_1", side=6, trials=8, kind="statistic",
+            statistic=first_column_zeros,
+        )
+        assert spec.values_dtype == "float64"

@@ -56,7 +56,7 @@ class TestExtendingExample:
         np.testing.assert_array_equal(after, tgt)
 
     def test_composes_with_harness(self, rng):
-        from repro.experiments.montecarlo import sample_sort_steps
+        from repro.experiments.montecarlo import _sort_steps_values as sample_sort_steps
         from repro.core.metrics import schedule_metrics
         from repro.mesh.machine import mesh_sort
         from repro.core.engine import default_step_cap

@@ -7,8 +7,8 @@ import pytest
 
 from repro.errors import StepLimitExceeded
 from repro.experiments.montecarlo import (
-    sample_sort_steps,
-    sample_statistic_after_steps,
+    _sort_steps_values as sample_sort_steps,
+    _statistic_values as sample_statistic_after_steps,
     summarize,
 )
 from repro.zeroone.trackers import z1_statistic
