@@ -183,6 +183,7 @@ class CacheInfo(NamedTuple):
 _CACHE_MAXSIZE = 128
 _cache: OrderedDict[tuple[Schedule, int, int], CompiledSchedule] = OrderedDict()
 _cache_lock = threading.Lock()
+_inflight: dict[tuple[Schedule, int, int], threading.Event] = {}
 _hits = 0
 _misses = 0
 
@@ -194,22 +195,44 @@ def compiled_schedule(schedule: Schedule, rows: int, cols: int | None = None) ->
     repeated Monte-Carlo calls with the same ``(algorithm, side)`` pair pay
     validation and kernel construction once.  Entries are evicted least
     recently used beyond {maxsize} cached compilations.
+
+    Concurrent callers asking for the same uncached key share a single
+    compilation: the first caller compiles while the rest wait on an
+    in-flight marker, then take the cached result as a hit — each key is
+    compiled (and counted as a miss) exactly once, no matter how many
+    threads race for it.
     """
     global _hits, _misses
     key = (schedule, int(rows), int(rows) if cols is None else int(cols))
-    with _cache_lock:
-        cached = _cache.get(key)
-        if cached is not None:
-            _cache.move_to_end(key)
-            _hits += 1
-            return cached
-    compiled = CompiledSchedule(schedule, rows, cols)
+    while True:
+        with _cache_lock:
+            cached = _cache.get(key)
+            if cached is not None:
+                _cache.move_to_end(key)
+                _hits += 1
+                return cached
+            waiter = _inflight.get(key)
+            if waiter is None:
+                _inflight[key] = threading.Event()
+                break
+        # Another thread is compiling this key; wait for it, then re-check
+        # the cache (or take over the compile if that thread failed).
+        waiter.wait()
+    try:
+        compiled = CompiledSchedule(schedule, rows, cols)
+    except BaseException:
+        with _cache_lock:
+            event = _inflight.pop(key)
+        event.set()
+        raise
     with _cache_lock:
         _misses += 1
         _cache[key] = compiled
         _cache.move_to_end(key)
         while len(_cache) > _CACHE_MAXSIZE:
             _cache.popitem(last=False)
+        event = _inflight.pop(key)
+    event.set()
     return compiled
 
 

@@ -40,7 +40,7 @@ from repro.errors import CampaignError, DimensionError
 from repro.obs.context import no_observer, resolve_observer
 from repro.obs.events import CampaignEnd, CampaignStart, Observer, ShardEnd
 from repro.obs.manifest import write_manifest
-from repro.randomness import as_generator
+from repro.randomness import as_generator, seed_provenance
 
 __all__ = ["run_campaign", "execute_shard"]
 
@@ -231,7 +231,7 @@ def run_campaign(
         "planned_trials": spec.trials,
         "kind": spec.kind,
         "input_kind": spec.input_kind,
-        "seed": spec.seed,
+        "seed": seed_provenance(spec.seed),
         "backend": spec.backend,
         "workers": workers,
         "num_shards": len(plan),

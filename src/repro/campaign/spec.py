@@ -30,13 +30,17 @@ from typing import Any, Callable
 from repro.core.runner import resolve_algorithm
 from repro.core.schedule import Schedule
 from repro.errors import DimensionError
-from repro.randomness import shard_counts, shard_seed_sequence
+from repro.randomness import seed_provenance, shard_counts, shard_seed_sequence
 
-__all__ = ["KINDS", "CampaignSpec", "Shard"]
+__all__ = ["KINDS", "INPUT_KINDS", "CampaignSpec", "Shard"]
 
 #: The two sampling modes: sort-to-completion step counts, and a statistic
 #: of the grid after a fixed number of steps.
 KINDS = ("sort_steps", "statistic")
+
+#: The two input distributions the samplers can draw: uniformly random
+#: permutations, and the paper's random 0-1 threshold matrices.
+INPUT_KINDS = ("permutation", "zero_one")
 
 _DEFAULT_INPUT_KIND = {"sort_steps": "permutation", "statistic": "zero_one"}
 
@@ -98,6 +102,10 @@ class CampaignSpec:
             object.__setattr__(
                 self, "input_kind", _DEFAULT_INPUT_KIND[self.kind]
             )
+        elif self.input_kind not in INPUT_KINDS:
+            raise DimensionError(
+                f"input_kind must be one of {INPUT_KINDS}, got {self.input_kind!r}"
+            )
         # Fail fast on unknown algorithms/backends in the coordinating
         # process instead of inside every worker.
         resolve_algorithm(self.algorithm)
@@ -147,7 +155,10 @@ class CampaignSpec:
             "trials": self.trials,
             "kind": self.kind,
             "input_kind": self.input_kind,
-            "seed": list(self.seed) if isinstance(self.seed, tuple) else self.seed,
+            # seed_provenance keeps ints/tuples in their historical JSON
+            # form (so existing fingerprints are unchanged) and makes
+            # SeedSequence seeds serializable instead of crashing json.dumps.
+            "seed": seed_provenance(self.seed),
             "num_steps": self.num_steps if self.kind == "statistic" else None,
             "statistic": _statistic_label(self.statistic),
             "max_steps": self.max_steps,

@@ -1,0 +1,60 @@
+"""The ``repro`` console command: one front door to the package's CLIs.
+
+``repro <subcommand> [args...]`` dispatches to the module-level entry
+points, so ``repro verify --smoke`` is exactly ``python -m repro.verify
+--smoke`` and ``repro experiments E-T2`` is ``python -m repro.experiments
+E-T2``.  Installed via ``[project.scripts]`` in ``pyproject.toml``; in a
+source checkout the ``python -m`` forms work without installation.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable
+
+__all__ = ["main"]
+
+
+def _run_experiments(argv: list[str]) -> int:
+    from repro.experiments.__main__ import main
+
+    return main(argv)
+
+
+def _run_verify(argv: list[str]) -> int:
+    from repro.verify.__main__ import main
+
+    return main(argv)
+
+
+_SUBCOMMANDS: dict[str, tuple[Callable[[list[str]], int], str]] = {
+    "experiments": (_run_experiments, "run paper experiments (alias: exp)"),
+    "exp": (_run_experiments, "alias for 'experiments'"),
+    "verify": (_run_verify, "differential + metamorphic backend verification"),
+}
+
+
+def _usage() -> str:
+    lines = ["usage: repro <subcommand> [args...]", "", "subcommands:"]
+    for name, (_, help_text) in _SUBCOMMANDS.items():
+        lines.append(f"  {name:12s} {help_text}")
+    lines.append("")
+    lines.append("run 'repro <subcommand> --help' for subcommand options")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_usage())
+        return 0 if argv else 2
+    name, rest = argv[0], argv[1:]
+    entry = _SUBCOMMANDS.get(name)
+    if entry is None:
+        print(f"error: unknown subcommand {name!r}\n\n{_usage()}", file=sys.stderr)
+        return 2
+    return entry[0](rest)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -48,6 +48,7 @@ from repro.experiments.structure import (
 )
 from repro.experiments.tables import Table
 from repro.experiments.tails import exp_tails, exp_theorem12_tail
+from repro.experiments.verify_exp import exp_verify
 
 __all__ = ["ExperimentSpec", "EXPERIMENTS", "run_experiment", "experiment_ids"]
 
@@ -92,6 +93,8 @@ _SPECS = (
     ExperimentSpec("E-FAULT", "Extension: comparator fault injection", exp_faults),
     ExperimentSpec("E-DECAY", "Extension: inversion decay curves", exp_decay),
     ExperimentSpec("E-CAMP", "Infrastructure: sharded parallel campaigns", exp_campaign),
+    ExperimentSpec("E-VERIFY", "Infrastructure: differential/metamorphic verification",
+                   exp_verify),
 )
 
 EXPERIMENTS: dict[str, ExperimentSpec] = {spec.exp_id: spec for spec in _SPECS}

@@ -26,14 +26,42 @@ from typing import Any, Callable
 
 from repro.campaign.result import SampleResult
 from repro.campaign.runner import run_campaign
-from repro.campaign.spec import KINDS, CampaignSpec
+from repro.campaign.spec import INPUT_KINDS, KINDS, CampaignSpec
 from repro.core.runner import resolve_algorithm
 from repro.core.schedule import Schedule
 from repro.errors import DimensionError
 from repro.experiments.montecarlo import _sort_steps_values, _statistic_values
 from repro.obs.events import Observer
+from repro.randomness import seed_provenance
 
 __all__ = ["sample"]
+
+
+def _validate_request(
+    kind: str, statistic: Callable | None, trials: int, input_kind: str | None
+) -> None:
+    """Fail fast, and identically for both execution modes.
+
+    Historically the in-process path deferred these checks to whatever blew
+    up first deep in the samplers (``trials=0`` surfaced as a late
+    ``ValueError: cannot summarize an empty sample``; a bogus ``input_kind``
+    as a raw ``ValueError`` from the grid generator) while campaign mode
+    failed fast with :class:`DimensionError` from ``CampaignSpec``.  The
+    facade now owns one error contract: every invalid request raises
+    :class:`DimensionError` before any work is done, in either mode.
+    """
+    if kind not in KINDS:
+        raise DimensionError(f"kind must be one of {KINDS}, got {kind!r}")
+    if kind == "statistic" and statistic is None:
+        raise DimensionError("kind='statistic' requires a statistic callable")
+    if kind == "sort_steps" and statistic is not None:
+        raise DimensionError("kind='sort_steps' takes no statistic")
+    if trials < 1:
+        raise DimensionError(f"trials must be positive, got {trials}")
+    if input_kind is not None and input_kind not in INPUT_KINDS:
+        raise DimensionError(
+            f"input_kind must be one of {INPUT_KINDS}, got {input_kind!r}"
+        )
 
 
 def sample(
@@ -86,8 +114,7 @@ def sample(
         Per-trial values, :class:`TrialStats`, and provenance ``meta``
         (``meta["mode"]`` is ``"in-process"`` or ``"campaign"``).
     """
-    if kind not in KINDS:
-        raise DimensionError(f"kind must be one of {KINDS}, got {kind!r}")
+    _validate_request(kind, statistic, trials, input_kind)
     campaign_mode = (
         workers != 1 or shard_size is not None or checkpoint_dir is not None
     )
@@ -118,10 +145,6 @@ def sample(
 
     # In-process path: the historical single-stream draw, bit-identical to
     # the deprecated sample_* functions for the same arguments.
-    if kind == "statistic" and statistic is None:
-        raise DimensionError("kind='statistic' requires a statistic callable")
-    if kind == "sort_steps" and statistic is not None:
-        raise DimensionError("kind='sort_steps' takes no statistic")
     clock = time.perf_counter()
     if kind == "sort_steps":
         values = _sort_steps_values(
@@ -157,7 +180,7 @@ def sample(
         "kind": kind,
         "input_kind": input_kind
         or ("permutation" if kind == "sort_steps" else "zero_one"),
-        "seed": seed if isinstance(seed, (int, tuple, list)) else None,
+        "seed": seed_provenance(seed),
         "backend": backend,
         "workers": 1,
         "elapsed": elapsed,

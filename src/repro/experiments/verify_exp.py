@@ -1,0 +1,39 @@
+"""E-VERIFY: the verification harness as a registered experiment.
+
+Runs the differential + metamorphic sweep of :mod:`repro.verify` at the
+budget matching the experiment scale (``quick`` -> smoke, ``full`` ->
+deep) and tabulates checks/failures per property.  The experiment fails
+loudly — a :class:`~repro.errors.DimensionError` naming the first broken
+check — rather than returning a quietly failing table, so any pipeline
+that can run experiments also gates on executor agreement.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DimensionError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.tables import Table
+from repro.verify.runner import VerifyConfig, run_verify
+
+__all__ = ["exp_verify"]
+
+
+def exp_verify(cfg: ExperimentConfig) -> Table:
+    """Differential/metamorphic verification sweep (smoke at quick scale)."""
+    budget = "smoke" if cfg.scale == "quick" else "deep"
+    report = run_verify(
+        VerifyConfig(budget=budget, seed=cfg.seed, shrink=False)
+    )
+    if not report.ok:
+        first = report.failures[0]
+        raise DimensionError(
+            f"verification failed ({len(report.failures)} checks): "
+            + first.describe().splitlines()[0]
+        )
+    table = report.to_table()
+    table.title = f"E-VERIFY: backend verification sweep ({budget})"
+    table.add_note(
+        f"{len(report.records)} checks passed in {report.elapsed_seconds:.2f}s; "
+        "see docs/VERIFICATION.md for the property definitions."
+    )
+    return table

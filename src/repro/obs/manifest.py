@@ -64,12 +64,15 @@ def array_digest(values) -> str:
 class RunManifest:
     """Reproducibility record of one experiment (or raw executor) run."""
 
-    kind: str  # "experiment" | "run" | "campaign"
+    kind: str  # "experiment" | "run" | "campaign" | "verify"
     exp_id: str = ""
     algorithm: str = ""
     # Campaign manifests may carry the experiments' composite (root, side,
-    # salt) seed tuples; JSON round-trips them as lists.
-    seed: int | tuple[int, ...] | list[int] | None = None
+    # salt) seed tuples (JSON round-trips them as lists); explicit
+    # SeedSequence/Generator seeds are recorded via
+    # :func:`repro.randomness.seed_provenance` as an entropy/spawn-key
+    # mapping or the "<generator>" marker.
+    seed: int | tuple[int, ...] | list[int] | dict | str | None = None
     scale: str = ""
     side: int | None = None
     elapsed_seconds: float | None = None
@@ -82,10 +85,10 @@ class RunManifest:
     extra: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.kind not in ("experiment", "run", "campaign"):
+        if self.kind not in ("experiment", "run", "campaign", "verify"):
             raise DimensionError(
-                "manifest kind must be 'experiment', 'run', or 'campaign', "
-                f"got {self.kind!r}"
+                "manifest kind must be 'experiment', 'run', 'campaign', or "
+                f"'verify', got {self.kind!r}"
             )
         if not self.created:
             self.created = datetime.now(timezone.utc).isoformat(timespec="seconds")

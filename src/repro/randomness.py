@@ -21,6 +21,7 @@ __all__ = [
     "as_generator",
     "spawn_generators",
     "as_seed_sequence",
+    "seed_provenance",
     "shard_counts",
     "shard_seed_sequence",
     "random_permutation_grid",
@@ -66,6 +67,36 @@ def as_seed_sequence(seed: SeedLike | tuple[int, ...]) -> np.random.SeedSequence
     if isinstance(seed, np.random.SeedSequence):
         return seed
     return np.random.SeedSequence(seed)
+
+
+def seed_provenance(seed: "SeedLike | tuple[int, ...] | list") -> object:
+    """A JSON-serializable record of ``seed`` for manifests and result meta.
+
+    Ints, int tuples/lists, and ``None`` pass through (tuples as lists, the
+    JSON round-trip form).  A :class:`numpy.random.SeedSequence` is recorded
+    as its defining ``{"entropy": ..., "spawn_key": [...]}`` pair — enough
+    to reconstruct the exact stream — instead of being silently dropped.  A
+    :class:`numpy.random.Generator` is a consumed stream with no replayable
+    identity, so it is recorded as the explicit marker ``"<generator>"``
+    rather than pretending the run had no seed at all.
+    """
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return None if seed is None else int(seed)
+    if isinstance(seed, (tuple, list)):
+        return [int(v) for v in seed]
+    if isinstance(seed, np.random.SeedSequence):
+        entropy = seed.entropy
+        if entropy is not None and not isinstance(entropy, (int, np.integer)):
+            entropy = [int(v) for v in entropy]
+        elif entropy is not None:
+            entropy = int(entropy)
+        return {
+            "entropy": entropy,
+            "spawn_key": [int(v) for v in seed.spawn_key],
+        }
+    if isinstance(seed, np.random.Generator):
+        return "<generator>"
+    return repr(seed)
 
 
 def shard_counts(trials: int, shard_size: int) -> list[int]:

@@ -1,0 +1,73 @@
+"""repro.verify: differential and metamorphic verification harness.
+
+The executors are cross-checked three ways, all driven from deterministic
+inputs so any failure replays from a seed:
+
+* :mod:`repro.verify.differential` — every backend must produce the same
+  trajectory, cell for cell, on the same input;
+* :mod:`repro.verify.metamorphic` — properties any correct transcription
+  must satisfy: the Section 2 0-1 threshold reduction, order-isomorphism
+  under monotone relabelings, and the paper's lemma invariants checked on
+  live runs via :class:`~repro.verify.metamorphic.InvariantObserver`;
+* :mod:`repro.verify.shrink` / :mod:`repro.verify.corpus` — failing inputs
+  are minimized to small reproducers and committed to a replayable
+  regression corpus under ``tests/verify/corpus/``.
+
+Run the whole sweep with ``repro verify --smoke`` (CI gate) or ``--deep``
+(nightly), or programmatically via :func:`repro.verify.run_verify`.
+"""
+
+from repro.verify.corpus import (
+    Reproducer,
+    load_corpus,
+    replay_reproducer,
+    save_reproducer,
+)
+from repro.verify.differential import DifferentialReport, Mismatch, differential_run
+from repro.verify.inputs import InputCase, generate_cases, reversed_grid, sorted_target
+from repro.verify.metamorphic import (
+    InvariantObserver,
+    check_relabeling_invariance,
+    check_threshold_consistency,
+    monotone_relabelings,
+    run_with_invariants,
+)
+from repro.verify.mutations import MUTATIONS, all_mutants, mutate_schedule
+from repro.verify.runner import (
+    BUDGETS,
+    CheckRecord,
+    VerifyConfig,
+    VerifyReport,
+    run_verify,
+)
+from repro.verify.shrink import ShrinkResult, shrink_case, shrink_entries
+
+__all__ = [
+    "BUDGETS",
+    "CheckRecord",
+    "DifferentialReport",
+    "InputCase",
+    "InvariantObserver",
+    "MUTATIONS",
+    "Mismatch",
+    "Reproducer",
+    "ShrinkResult",
+    "VerifyConfig",
+    "VerifyReport",
+    "all_mutants",
+    "check_relabeling_invariance",
+    "check_threshold_consistency",
+    "differential_run",
+    "generate_cases",
+    "load_corpus",
+    "monotone_relabelings",
+    "mutate_schedule",
+    "replay_reproducer",
+    "reversed_grid",
+    "run_verify",
+    "run_with_invariants",
+    "save_reproducer",
+    "shrink_case",
+    "shrink_entries",
+    "sorted_target",
+]

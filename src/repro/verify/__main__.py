@@ -1,0 +1,148 @@
+"""Command-line entry point: ``python -m repro.verify`` (or ``repro verify``).
+
+Examples::
+
+    python -m repro.verify --smoke
+    python -m repro.verify --deep --algorithms snake_1 snake_2
+    python -m repro.verify --smoke --backends vectorized reference \\
+        --manifest out/manifest.json --metrics-out out/metrics.json \\
+        --failures out/counterexamples
+
+Exit status 0 when every check passes, 1 on any violation, 2 on bad usage.
+``--manifest`` records a replayable ``kind="verify"`` run manifest;
+``--metrics-out`` dumps the ``repro_verify_*`` instrument family (JSON, or
+Prometheus text when the filename ends in ``.prom``); ``--failures DIR``
+saves shrunk counterexamples as corpus-format reproducers for triage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.algorithms import ALGORITHM_NAMES
+from repro.errors import DimensionError
+from repro.obs.manifest import RunManifest, table_digest, write_manifest
+from repro.obs.metrics import MetricsRegistry
+from repro.verify.runner import VerifyConfig, run_verify
+
+#: The committed regression corpus, replayed by default when it exists.
+DEFAULT_CORPUS = Path(__file__).resolve().parents[3] / "tests" / "verify" / "corpus"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro verify",
+        description="Differential + metamorphic verification of every backend.",
+    )
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized sweep: small sides, one case per family (default)",
+    )
+    group.add_argument(
+        "--deep", action="store_true",
+        help="nightly-sized sweep: more sides, full threshold sweeps",
+    )
+    parser.add_argument(
+        "--algorithms", nargs="+", metavar="NAME", default=None,
+        help=f"algorithms to verify (default: all of {', '.join(ALGORITHM_NAMES)})",
+    )
+    parser.add_argument(
+        "--backends", nargs="+", metavar="NAME", default=None,
+        help="backends to cross-check (default: every registered backend)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="input-generation seed")
+    parser.add_argument(
+        "--corpus", metavar="DIR", default=None,
+        help=f"regression corpus to replay (default: {DEFAULT_CORPUS} when present; "
+             "pass an empty string to skip)",
+    )
+    parser.add_argument(
+        "--failures", metavar="DIR", default=None,
+        help="save shrunk counterexamples of any failing check under DIR",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failures raw instead of minimizing them",
+    )
+    parser.add_argument(
+        "--manifest", metavar="FILE", default=None,
+        help="write a kind='verify' run manifest to FILE",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write repro_verify_* metrics to FILE (JSON, or Prometheus "
+             "text when FILE ends in .prom)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="print only the final summary line"
+    )
+    args = parser.parse_args(argv)
+
+    budget = "deep" if args.deep else "smoke"
+    if args.corpus is None:
+        corpus_dir = DEFAULT_CORPUS if DEFAULT_CORPUS.is_dir() else None
+    else:
+        corpus_dir = Path(args.corpus) if args.corpus else None
+
+    try:
+        config = VerifyConfig(
+            budget=budget,
+            algorithms=tuple(args.algorithms) if args.algorithms else ALGORITHM_NAMES,
+            backends=tuple(args.backends) if args.backends else None,
+            seed=args.seed,
+            corpus_dir=corpus_dir,
+            failure_dir=args.failures,
+            shrink=not args.no_shrink,
+        )
+    except DimensionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    registry = MetricsRegistry()
+    report = run_verify(config, registry=registry)
+
+    summary = report.summary()
+    print(summary.splitlines()[-1] if args.quiet and report.ok else summary)
+
+    if args.metrics_out:
+        out = Path(args.metrics_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        if out.suffix == ".prom":
+            out.write_text(registry.to_prometheus_text())
+        else:
+            registry.to_json(out)
+        print(f"wrote {out}")
+
+    if args.manifest:
+        manifest = RunManifest(
+            kind="verify",
+            exp_id="E-VERIFY",
+            seed=config.seed,
+            scale=budget,
+            elapsed_seconds=report.elapsed_seconds,
+            result_digest=table_digest(report.to_table()),
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            extra={
+                "budget": budget,
+                "algorithms": list(report.algorithms),
+                "backends": list(report.backends),
+                "checks": len(report.records),
+                "failures": len(report.failures),
+                "corpus_entries": report.corpus_entries,
+                "counts_by_property": {
+                    prop: {"checks": checks, "failures": fails}
+                    for prop, (checks, fails) in report.counts_by_property().items()
+                },
+            },
+        )
+        path = write_manifest(args.manifest, manifest)
+        print(f"wrote {path}")
+
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

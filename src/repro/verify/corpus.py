@@ -1,0 +1,126 @@
+"""Regression corpus: shrunk counterexamples, serialized and replayable.
+
+Every failing input the verification harness minimizes is worth keeping: a
+schedule transcription bug that slipped in once can slip in again, and a
+six-cell grid that caught it re-runs in microseconds.  A corpus entry is a
+small JSON document — property name, algorithm, grid, and the failure it
+reproduced — written under ``tests/verify/corpus/`` with a content-derived
+filename (re-saving the same reproducer is idempotent).
+
+Replaying an entry runs the named property against the *current* code:
+entries must pass (the recorded bug stays fixed).  The committed corpus is
+replayed both by ``repro verify`` runs and by the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.obs.manifest import array_digest
+
+__all__ = ["Reproducer", "save_reproducer", "load_corpus", "replay_reproducer"]
+
+#: Properties a corpus entry may name, and how replay checks them.
+_REPLAYABLE_PROPERTIES = (
+    "differential",
+    "threshold_consistency",
+    "relabeling_invariance",
+    "lemma_invariants",
+)
+
+
+@dataclass
+class Reproducer:
+    """One minimized counterexample with enough context to replay it."""
+
+    prop: str  # one of _REPLAYABLE_PROPERTIES
+    algorithm: str  # registry name
+    grid: list[list[int]]
+    detail: str = ""  # what failed when this was recorded
+    source: str = ""  # e.g. "shrunk from perm-1 side=8 (fault: drop-step)"
+    backend: str = "vectorized"
+    schema_version: int = 1
+
+    def __post_init__(self) -> None:
+        if self.prop not in _REPLAYABLE_PROPERTIES:
+            raise DimensionError(
+                f"unknown corpus property {self.prop!r}; "
+                f"known: {', '.join(_REPLAYABLE_PROPERTIES)}"
+            )
+        arr = np.asarray(self.grid)
+        if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+            raise DimensionError(
+                f"corpus grids must be square, got shape {arr.shape}"
+            )
+
+    @property
+    def side(self) -> int:
+        return len(self.grid)
+
+    @property
+    def array(self) -> np.ndarray:
+        return np.asarray(self.grid, dtype=np.int64)
+
+    @property
+    def digest(self) -> str:
+        return array_digest(self.array)
+
+
+def save_reproducer(directory: str | Path, rep: Reproducer) -> Path:
+    """Write ``rep`` under ``directory`` with a content-addressed filename."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{rep.prop}-{rep.algorithm}-s{rep.side}-{rep.digest}.json"
+    path.write_text(json.dumps(asdict(rep), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_corpus(directory: str | Path) -> list[Reproducer]:
+    """Load every corpus entry under ``directory`` (sorted by filename)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    entries = []
+    for path in sorted(directory.glob("*.json")):
+        data = json.loads(path.read_text())
+        version = data.pop("schema_version", 1)
+        if version != 1:
+            raise DimensionError(
+                f"unsupported corpus schema version {version!r} in {path}"
+            )
+        entries.append(Reproducer(schema_version=version, **data))
+    return entries
+
+
+def replay_reproducer(rep: Reproducer) -> list[str]:
+    """Re-run the recorded property on the current code.
+
+    Returns the list of violations the property reports *today* — empty
+    means the recorded bug stays fixed.  Imported lazily to keep the corpus
+    module free of heavy dependencies.
+    """
+    from repro.verify.differential import differential_run
+    from repro.verify.metamorphic import (
+        check_relabeling_invariance,
+        check_threshold_consistency,
+        run_with_invariants,
+    )
+
+    grid = rep.array
+    if rep.prop == "differential":
+        report = differential_run(rep.algorithm, grid)
+        return [m.describe() for m in report.mismatches]
+    if rep.prop == "threshold_consistency":
+        return check_threshold_consistency(rep.algorithm, grid, backend=rep.backend)
+    if rep.prop == "relabeling_invariance":
+        return check_relabeling_invariance(rep.algorithm, grid, backend=rep.backend)
+    if rep.prop == "lemma_invariants":
+        return run_with_invariants(
+            rep.algorithm, grid.astype(np.int8), backend=rep.backend
+        )
+    raise DimensionError(f"unknown corpus property {rep.prop!r}")

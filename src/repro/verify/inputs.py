@@ -1,0 +1,142 @@
+"""Deterministic input generation for the verification harness.
+
+Every verification run draws its inputs from here, so a failing check can
+always be replayed from ``(seed, side, order)`` alone.  Four families are
+covered:
+
+* ``permutation`` — uniformly random permutation grids (the paper's
+  average-case input model);
+* ``zero_one`` — random threshold matrices :math:`\\mathcal{A}^{01}` with
+  the paper's zero count (the reduction every lemma is stated on);
+* ``adversarial`` — structured worst-case-shaped inputs: the target order
+  reversed, transposed, and rotated, plus extreme 0-1 patterns
+  (checkerboard, anti-sorted block) whose long travel distances exercise
+  the wrap-around comparisons;
+* ``near_sorted`` — the sorted target perturbed by a few random adjacent
+  transpositions, probing the completion-detection edge (runs that finish
+  in O(1) steps).
+
+The draw is deterministic in ``(seed, side, order)``: families are
+generated from independent ``SeedSequence.spawn``-style child streams, so
+adding cases to one family never shifts another family's draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.orders import target_grid
+from repro.errors import DimensionError
+from repro.randomness import (
+    as_generator,
+    paper_zero_count,
+    random_permutation_grid,
+    random_zero_one_grid,
+    shard_seed_sequence,
+)
+
+__all__ = ["InputCase", "generate_cases", "sorted_target", "reversed_grid"]
+
+#: Stable per-family child-stream indices (appending families keeps old draws).
+_FAMILY_STREAM = {"permutation": 0, "zero_one": 1, "near_sorted": 2}
+
+
+@dataclass(frozen=True)
+class InputCase:
+    """One verification input: a grid plus enough naming to replay it."""
+
+    name: str
+    family: str  # "permutation" | "zero_one" | "adversarial" | "near_sorted"
+    grid: np.ndarray
+
+    @property
+    def side(self) -> int:
+        return int(self.grid.shape[-1])
+
+
+def sorted_target(side: int, order: str) -> np.ndarray:
+    """The sorted permutation grid ``0..N-1`` in ``order``."""
+    return target_grid(np.arange(side * side, dtype=np.int64), side, order)
+
+
+def reversed_grid(side: int, order: str) -> np.ndarray:
+    """The target order traversed backwards — every element maximally far
+    from home along the sorting direction."""
+    target = sorted_target(side, order)
+    n_cells = side * side
+    return (n_cells - 1 - target).astype(np.int64)
+
+
+def _family_rng(seed: int, side: int, family: str):
+    stream = _FAMILY_STREAM[family]
+    return as_generator(shard_seed_sequence((seed, side), stream))
+
+
+def generate_cases(
+    side: int,
+    order: str,
+    *,
+    seed: int = 0,
+    permutations: int = 2,
+    zero_ones: int = 2,
+    near_sorted: int = 2,
+    adversarial: bool = True,
+) -> list[InputCase]:
+    """The deterministic case list for one ``(side, order)`` cell.
+
+    ``permutations``/``zero_ones``/``near_sorted`` set the per-family count
+    (0 disables a family); ``adversarial`` toggles the structured cases.
+    """
+    if side < 2:
+        raise DimensionError(f"verification needs side >= 2, got {side}")
+    cases: list[InputCase] = []
+
+    rng = _family_rng(seed, side, "permutation")
+    for i in range(permutations):
+        cases.append(
+            InputCase(f"perm-{i}", "permutation", random_permutation_grid(side, rng=rng))
+        )
+
+    rng = _family_rng(seed, side, "zero_one")
+    for i in range(zero_ones):
+        cases.append(
+            InputCase(f"zero-one-{i}", "zero_one", random_zero_one_grid(side, rng=rng))
+        )
+
+    if adversarial:
+        target = sorted_target(side, order)
+        cases.append(InputCase("reversed", "adversarial", reversed_grid(side, order)))
+        cases.append(
+            InputCase("transposed", "adversarial", np.ascontiguousarray(target.T))
+        )
+        cases.append(
+            InputCase("rotated", "adversarial", np.ascontiguousarray(target[::-1, ::-1]))
+        )
+        if side % 2 == 0:
+            # 0-1 extremes share the paper's zero count, so they stay inside
+            # the A^01 distribution's support.
+            checker = np.indices((side, side)).sum(axis=0) % 2
+            cases.append(
+                InputCase("checkerboard", "adversarial", checker.astype(np.int8))
+            )
+        zeros = paper_zero_count(side)
+        block = np.ones(side * side, dtype=np.int8)
+        block[-zeros:] = 0  # zeroes packed at the end: maximal travel
+        cases.append(
+            InputCase("anti-block", "adversarial", block.reshape(side, side))
+        )
+
+    rng = _family_rng(seed, side, "near_sorted")
+    target = sorted_target(side, order)
+    n_cells = side * side
+    for i in range(near_sorted):
+        grid = target.copy().reshape(-1)
+        for _ in range(max(1, side)):
+            j = int(rng.integers(0, n_cells - 1))
+            grid[j], grid[j + 1] = grid[j + 1], grid[j]
+        cases.append(
+            InputCase(f"near-sorted-{i}", "near_sorted", grid.reshape(side, side))
+        )
+    return cases

@@ -1,0 +1,108 @@
+"""Schedule mutations: deliberately broken algorithms for harness self-test.
+
+A verification harness that has never caught a bug proves nothing.  These
+operators produce *minimally* wrong variants of a schedule — one dropped
+op, one flipped comparator direction, one swapped step pair — modelled on
+the transcription mistakes that are actually easy to make when copying the
+paper's step lists.  The test suite injects them and asserts the
+differential and metamorphic suites flag every mutant; the shrinker demo
+minimizes one mutant's failure into the committed corpus.
+
+Mutants keep the original registry ``name`` on purpose: a transcription
+bug would too, and the phase-keyed lemma checks must fire against the
+mutant exactly as they would against the genuine article.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.schedule import LineOp, Schedule, Step
+from repro.errors import DimensionError
+
+__all__ = ["MUTATIONS", "mutate_schedule", "all_mutants"]
+
+
+def _drop_op(schedule: Schedule, step_index: int) -> Schedule:
+    """Remove the last op of one step (e.g. forget the wrap-around)."""
+    steps = list(schedule.steps)
+    ops = steps[step_index].ops
+    if len(ops) == 1:
+        raise DimensionError(
+            f"step {step_index + 1} has a single op; dropping it would empty the step"
+        )
+    steps[step_index] = Step(*ops[:-1])
+    return replace(schedule, steps=tuple(steps))
+
+
+def _flip_direction(schedule: Schedule, step_index: int) -> Schedule:
+    """Reverse the comparator direction of one step's first line op."""
+    steps = list(schedule.steps)
+    ops = list(steps[step_index].ops)
+    for i, op in enumerate(ops):
+        if isinstance(op, LineOp):
+            ops[i] = replace(op, direction=-op.direction)
+            steps[step_index] = Step(*ops)
+            return replace(schedule, steps=tuple(steps))
+    raise DimensionError(f"step {step_index + 1} has no line op to flip")
+
+
+def _flip_offset(schedule: Schedule, step_index: int) -> Schedule:
+    """Turn an odd transposition step into an even one (or vice versa)."""
+    steps = list(schedule.steps)
+    ops = list(steps[step_index].ops)
+    for i, op in enumerate(ops):
+        if isinstance(op, LineOp):
+            ops[i] = replace(op, offset=1 - op.offset)
+            steps[step_index] = Step(*ops)
+            return replace(schedule, steps=tuple(steps))
+    raise DimensionError(f"step {step_index + 1} has no line op to re-offset")
+
+
+def _swap_steps(schedule: Schedule, step_index: int) -> Schedule:
+    """Exchange a step with its successor (cyclic order transcription slip)."""
+    steps = list(schedule.steps)
+    j = (step_index + 1) % len(steps)
+    steps[step_index], steps[j] = steps[j], steps[step_index]
+    return replace(schedule, steps=tuple(steps))
+
+
+MUTATIONS = {
+    "drop-op": _drop_op,
+    "flip-direction": _flip_direction,
+    "flip-offset": _flip_offset,
+    "swap-steps": _swap_steps,
+}
+
+
+def mutate_schedule(schedule: Schedule, mutation: str, step_index: int = 0) -> Schedule:
+    """Apply one named mutation to ``schedule`` at ``step_index`` (0-based)."""
+    if mutation not in MUTATIONS:
+        raise DimensionError(
+            f"unknown mutation {mutation!r}; known: {', '.join(MUTATIONS)}"
+        )
+    if not 0 <= step_index < len(schedule.steps):
+        raise DimensionError(
+            f"step_index {step_index} out of range for {len(schedule.steps)} steps"
+        )
+    return MUTATIONS[mutation](schedule, step_index)
+
+
+def all_mutants(schedule: Schedule) -> list[tuple[str, Schedule]]:
+    """Every applicable ``(label, mutant)`` of ``schedule``.
+
+    Mutations that do not apply at a given step (e.g. dropping the only op)
+    are skipped; mutants identical to the original (a symmetric step swap)
+    are filtered out.
+    """
+    mutants: list[tuple[str, Schedule]] = []
+    for name in MUTATIONS:
+        for index in range(len(schedule.steps)):
+            try:
+                mutant = mutate_schedule(schedule, name, index)
+            except DimensionError:
+                continue
+            if mutant.steps == schedule.steps:
+                continue
+            mutants.append((f"{name}@{index + 1}", mutant))
+    return mutants

@@ -1,0 +1,170 @@
+"""Counterexample minimization: from a failing grid to a tiny reproducer.
+
+When a differential or metamorphic check fails, the raw failing input is
+usually a big random grid — true but useless for debugging.  The shrinker
+reduces it along two axes, in order:
+
+1. **side** — candidate inputs at smaller mesh sides (supplied by a
+   caller-provided generator, typically :func:`repro.verify.inputs
+   .generate_cases` plus the structured adversarial grids) are tried
+   smallest-first; the first side with any failing candidate wins;
+2. **entries** — at the chosen side, the grid is greedily walked toward
+   its sorted target one value-preserving transposition at a time (the
+   multiset of values never changes, so permutations stay permutations and
+   0-1 matrices keep their zero count), keeping every move that still
+   fails.  The fixpoint is 1-minimal: no single transposition toward the
+   target preserves the failure.
+
+The predicate is treated as a black box; an evaluation budget bounds the
+work on expensive properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.core.orders import target_grid, validate_grid
+from repro.errors import DimensionError
+
+__all__ = ["ShrinkResult", "shrink_entries", "shrink_case"]
+
+Predicate = Callable[[np.ndarray], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """A minimized failing input plus how much work finding it took."""
+
+    grid: np.ndarray
+    side: int
+    evaluations: int
+    side_shrunk: bool  # a smaller side than the original still failed
+    distance: int  # cells still differing from the sorted target
+
+    def describe(self) -> str:
+        return (
+            f"side={self.side} distance-to-sorted={self.distance} "
+            f"({self.evaluations} predicate evaluations)"
+        )
+
+
+class _Budget:
+    def __init__(self, limit: int):
+        self.limit = int(limit)
+        self.used = 0
+
+    def spent(self) -> bool:
+        return self.used >= self.limit
+
+    def check(self, fails: Predicate, grid: np.ndarray) -> bool:
+        if self.spent():
+            return False
+        self.used += 1
+        return bool(fails(grid))
+
+
+def shrink_entries(
+    fails: Predicate,
+    grid: np.ndarray,
+    *,
+    order: str = "row_major",
+    max_evaluations: int = 2000,
+) -> ShrinkResult:
+    """Minimize a failing grid's entries at fixed side.
+
+    Repeatedly tries the transposition that moves one more cell to its
+    sorted-target value, keeping the move whenever the predicate still
+    fails, until no single move preserves the failure (or the evaluation
+    budget runs out).  Returns the final grid; ``fails(result.grid)`` is
+    guaranteed True.
+    """
+    grid = np.asarray(grid)
+    side = validate_grid(grid)
+    if grid.ndim != 2:
+        raise DimensionError("shrink_entries takes one unbatched grid")
+    if not fails(grid):
+        raise DimensionError("shrink_entries needs a failing grid to start from")
+    budget = _Budget(max_evaluations)
+    target = target_grid(grid, side, order)
+    best = grid.copy()
+
+    improved = True
+    while improved and not budget.spent():
+        improved = False
+        flat = best.reshape(-1)
+        flat_target = target.reshape(-1)
+        for idx in range(flat.size):
+            if flat[idx] == flat_target[idx]:
+                continue
+            # Swap the wrong value with a *misplaced* cell holding the value
+            # this position wants — fixes both cells, so the distance to the
+            # sorted target strictly decreases and the walk terminates.
+            donors = np.nonzero((flat == flat_target[idx]) & (flat != flat_target))[0]
+            if donors.size == 0:
+                continue
+            j = int(donors[0])
+            candidate = flat.copy()
+            candidate[idx], candidate[j] = candidate[j], candidate[idx]
+            candidate = candidate.reshape(side, side)
+            if budget.check(fails, candidate):
+                best = candidate
+                improved = True
+                break
+    distance = int(np.sum(best != target))
+    return ShrinkResult(
+        grid=best,
+        side=side,
+        evaluations=budget.used,
+        side_shrunk=False,
+        distance=distance,
+    )
+
+
+def shrink_case(
+    fails: Predicate,
+    grid: np.ndarray,
+    *,
+    order: str = "row_major",
+    candidates_for_side: Callable[[int], Iterable[np.ndarray]] | None = None,
+    sides: Iterable[int] = (),
+    max_evaluations: int = 2000,
+) -> ShrinkResult:
+    """Full shrink: smaller sides first, then entry minimization.
+
+    ``candidates_for_side(side)`` yields candidate grids at a smaller side
+    (the caller controls parity and family — e.g. only even sides for the
+    row-major algorithms); ``sides`` lists the sides to try, ascending.
+    Without candidates the side phase is skipped and only entries shrink.
+    """
+    grid = np.asarray(grid)
+    if not fails(grid):
+        raise DimensionError("shrink_case needs a failing grid to start from")
+    budget_left = int(max_evaluations)
+    best = grid
+    side_shrunk = False
+
+    if candidates_for_side is not None:
+        budget = _Budget(max_evaluations // 2)
+        found = None
+        for side in sorted(set(int(s) for s in sides)):
+            if side >= int(np.asarray(grid).shape[-1]) or budget.spent():
+                continue
+            for candidate in candidates_for_side(side):
+                if budget.check(fails, candidate):
+                    found = np.asarray(candidate)
+                    break
+            if found is not None:
+                break
+        budget_left -= budget.used
+        if found is not None:
+            best = found
+            side_shrunk = True
+
+    result = shrink_entries(
+        fails, best, order=order, max_evaluations=max(budget_left, 1)
+    )
+    result.side_shrunk = side_shrunk
+    return result

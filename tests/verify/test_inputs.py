@@ -1,0 +1,90 @@
+"""Deterministic input generation for the verification harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.randomness import paper_zero_count
+from repro.verify.inputs import generate_cases, reversed_grid, sorted_target
+
+
+def _grids_by_name(cases):
+    return {c.name: np.asarray(c.grid) for c in cases}
+
+
+class TestDeterminism:
+    def test_same_seed_same_cases(self):
+        a = _grids_by_name(generate_cases(6, "row_major", seed=3))
+        b = _grids_by_name(generate_cases(6, "row_major", seed=3))
+        assert a.keys() == b.keys()
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name])
+
+    def test_different_seed_different_random_cases(self):
+        a = _grids_by_name(generate_cases(6, "row_major", seed=0))
+        b = _grids_by_name(generate_cases(6, "row_major", seed=1))
+        assert not np.array_equal(a["perm-0"], b["perm-0"])
+
+    def test_families_draw_independent_streams(self):
+        """Growing one family must not shift another family's draws."""
+        small = _grids_by_name(generate_cases(6, "snake", seed=0, permutations=1))
+        large = _grids_by_name(generate_cases(6, "snake", seed=0, permutations=4))
+        np.testing.assert_array_equal(small["zero-one-0"], large["zero-one-0"])
+        np.testing.assert_array_equal(small["near-sorted-0"], large["near-sorted-0"])
+        np.testing.assert_array_equal(small["perm-0"], large["perm-0"])
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("order", ["row_major", "snake"])
+    def test_permutation_cases_are_permutations(self, order):
+        for case in generate_cases(6, order, seed=0):
+            if case.family in ("permutation", "near_sorted"):
+                values = sorted(np.asarray(case.grid).reshape(-1).tolist())
+                assert values == list(range(36)), case.name
+
+    def test_zero_one_cases_use_paper_zero_count(self):
+        for case in generate_cases(6, "row_major", seed=0):
+            grid = np.asarray(case.grid)
+            if case.family == "zero_one" or case.name in ("checkerboard", "anti-block"):
+                assert set(np.unique(grid).tolist()) <= {0, 1}, case.name
+                assert int(np.sum(grid == 0)) == paper_zero_count(6), case.name
+
+    def test_case_names_unique(self):
+        names = [c.name for c in generate_cases(8, "snake", seed=0)]
+        assert len(names) == len(set(names))
+
+    def test_checkerboard_only_on_even_sides(self):
+        names = {c.name for c in generate_cases(5, "snake", seed=0)}
+        assert "checkerboard" not in names
+        names = {c.name for c in generate_cases(6, "snake", seed=0)}
+        assert "checkerboard" in names
+
+    def test_counts_control_family_sizes(self):
+        cases = generate_cases(
+            6, "row_major", seed=0, permutations=3, zero_ones=0, near_sorted=1,
+            adversarial=False,
+        )
+        families = [c.family for c in cases]
+        assert families.count("permutation") == 3
+        assert families.count("zero_one") == 0
+        assert families.count("near_sorted") == 1
+        assert families.count("adversarial") == 0
+
+
+class TestStructuredGrids:
+    def test_sorted_target_is_sorted(self):
+        from repro.core.orders import is_sorted_grid
+
+        for order in ("row_major", "snake"):
+            assert bool(is_sorted_grid(sorted_target(6, order), order))
+
+    def test_reversed_grid_reverses_ranks(self):
+        rev = reversed_grid(4, "row_major")
+        assert rev[0, 0] == 15
+        assert rev[-1, -1] == 0
+
+    def test_side_below_two_rejected(self):
+        with pytest.raises(DimensionError):
+            generate_cases(1, "row_major")

@@ -1,0 +1,159 @@
+"""Metamorphic properties: hold on the real algorithms, fail on mutants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import run_sort
+from repro.core.algorithms import ALGORITHM_NAMES, get_algorithm
+from repro.errors import DimensionError, ScheduleValidationError
+from repro.obs.context import no_observer
+from repro.verify.inputs import generate_cases
+from repro.verify.metamorphic import (
+    InvariantObserver,
+    check_relabeling_invariance,
+    check_threshold_consistency,
+    monotone_relabelings,
+    run_with_invariants,
+)
+from repro.verify.mutations import all_mutants
+
+
+def _permutation(side: int, seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).permutation(side * side).reshape(side, side)
+
+
+def _sides_for(algorithm: str) -> list[int]:
+    even_only = get_algorithm(algorithm).requires_even_side
+    return [4, 6, 8] if even_only else [4, 5, 6, 7, 8]
+
+
+class TestThresholdConsistency:
+    @pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+    def test_full_sweep_exact_equality(self, algorithm):
+        """The 0-1 principle's equality: slowest threshold == permutation."""
+        for side in (4, 6):
+            violations = check_threshold_consistency(
+                algorithm, _permutation(side, seed=side)
+            )
+            assert violations == [], violations
+
+    @given(data=st.data())
+    @settings(max_examples=15)
+    def test_property_on_random_permutations(self, data):
+        algorithm = data.draw(st.sampled_from(ALGORITHM_NAMES))
+        side = data.draw(st.sampled_from(_sides_for(algorithm)))
+        seed = data.draw(st.integers(0, 2**31))
+        grid = _permutation(side, seed)
+        zs = sorted({1, side, (side * side) // 2, side * side - 1})
+        violations = check_threshold_consistency(algorithm, grid, thresholds=zs)
+        assert violations == [], violations
+
+    def test_duplicate_entries_rejected(self):
+        with pytest.raises(DimensionError):
+            check_threshold_consistency("snake_1", np.zeros((4, 4), dtype=np.int64))
+
+    def test_out_of_range_threshold_rejected(self):
+        with pytest.raises(DimensionError):
+            check_threshold_consistency(
+                "snake_1", _permutation(4, 0), thresholds=[16]
+            )
+
+
+class TestRelabelingInvariance:
+    @given(data=st.data())
+    @settings(max_examples=15)
+    def test_property_on_random_permutations(self, data):
+        algorithm = data.draw(st.sampled_from(ALGORITHM_NAMES))
+        side = data.draw(st.sampled_from(_sides_for(algorithm)))
+        seed = data.draw(st.integers(0, 2**31))
+        violations = check_relabeling_invariance(algorithm, _permutation(side, seed))
+        assert violations == [], violations
+
+    def test_relabelings_are_strictly_increasing(self):
+        for name, fn in monotone_relabelings(36, seed=5):
+            values = fn(np.arange(36))
+            assert np.all(np.diff(values) > 0), name
+
+    def test_non_rank_grid_rejected(self):
+        with pytest.raises(DimensionError):
+            check_relabeling_invariance("snake_1", np.full((4, 4), 7))
+
+
+class TestInvariantObserver:
+    @pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+    def test_no_violations_on_real_algorithms(self, algorithm):
+        for case in generate_cases(6, get_algorithm(algorithm).order, seed=1):
+            grid = np.asarray(case.grid)
+            if set(np.unique(grid).tolist()) <= {0, 1}:
+                assert run_with_invariants(algorithm, grid) == []
+
+    def test_row_major_phases_are_checked(self):
+        cases = generate_cases(6, "row_major", seed=0, permutations=0,
+                               near_sorted=0, adversarial=False)
+        grid = np.asarray(cases[0].grid)  # zero-one-0
+        observer = InvariantObserver(initial_grid=grid)
+        run_sort("vectorized", get_algorithm("row_major_row_first"), grid,
+                 observer=observer)
+        assert observer.checked_steps > 0
+        assert observer.completed_runs == 1
+        assert observer.violations == []
+
+    def test_non_zero_one_runs_are_skipped(self):
+        grid = _permutation(6, 0)
+        observer = InvariantObserver(initial_grid=grid)
+        run_sort("vectorized", get_algorithm("snake_1"), grid, observer=observer)
+        assert observer.checked_steps == 0
+        assert observer.violations == []
+
+    def test_backend_without_step_grids_is_skipped(self):
+        grids = generate_cases(6, "snake", seed=0, permutations=0,
+                               near_sorted=0, adversarial=False)
+        grid = np.asarray(grids[0].grid)
+        observer = InvariantObserver(initial_grid=grid)
+        run_sort("mesh", get_algorithm("snake_1"), grid, observer=observer)
+        assert observer.violations == []
+
+    def test_non_zero_one_input_rejected_by_wrapper(self):
+        with pytest.raises(DimensionError):
+            run_with_invariants("snake_1", _permutation(4, 0))
+
+
+class TestMutantsAreCaught:
+    """Harness self-test: every minimal schedule corruption is detected."""
+
+    @staticmethod
+    def _behaviour(schedule, grid):
+        with no_observer():
+            outcome = run_sort("vectorized", schedule, grid, max_steps=400)
+        return (
+            int(np.asarray(outcome.steps)),
+            bool(np.all(outcome.completed)),
+            np.asarray(outcome.final).tobytes(),
+        )
+
+    @pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+    def test_every_mutant_detected(self, algorithm):
+        schedule = get_algorithm(algorithm)
+        cases = generate_cases(6, schedule.order, seed=0)
+        uncaught = []
+        for label, mutant in all_mutants(schedule):
+            try:
+                caught = any(
+                    self._behaviour(mutant, c.grid) != self._behaviour(schedule, c.grid)
+                    for c in cases
+                )
+            except ScheduleValidationError:
+                continue  # the schedule validator caught it outright
+            if not caught:
+                caught = any(
+                    bool(run_with_invariants(mutant, np.asarray(c.grid)))
+                    for c in cases
+                    if set(np.unique(np.asarray(c.grid)).tolist()) <= {0, 1}
+                )
+            if not caught:
+                uncaught.append(label)
+        assert uncaught == [], f"{algorithm}: mutants escaped detection: {uncaught}"

@@ -1,0 +1,53 @@
+"""Schedule mutation operators: structural sanity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithms import ALGORITHM_NAMES, get_algorithm
+from repro.errors import DimensionError
+from repro.verify.mutations import MUTATIONS, all_mutants, mutate_schedule
+
+
+class TestMutateSchedule:
+    def test_unknown_mutation_rejected(self):
+        with pytest.raises(DimensionError):
+            mutate_schedule(get_algorithm("snake_1"), "sabotage")
+
+    def test_step_index_out_of_range_rejected(self):
+        with pytest.raises(DimensionError):
+            mutate_schedule(get_algorithm("snake_1"), "flip-direction", 99)
+
+    def test_original_schedule_is_untouched(self):
+        schedule = get_algorithm("snake_1")
+        before = schedule.steps
+        mutate_schedule(schedule, "flip-direction", 0)
+        assert schedule.steps == before
+
+    def test_mutant_keeps_registry_name(self):
+        mutant = mutate_schedule(get_algorithm("snake_2"), "swap-steps", 0)
+        assert mutant.name == "snake_2"
+
+    def test_drop_op_on_single_op_step_rejected(self):
+        schedule = get_algorithm("snake_1")
+        single_op_steps = [
+            i for i, step in enumerate(schedule.steps) if len(step.ops) == 1
+        ]
+        if not single_op_steps:
+            pytest.skip("snake_1 has no single-op steps")
+        with pytest.raises(DimensionError):
+            mutate_schedule(schedule, "drop-op", single_op_steps[0])
+
+
+class TestAllMutants:
+    @pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+    def test_mutants_differ_from_original(self, algorithm):
+        schedule = get_algorithm(algorithm)
+        mutants = all_mutants(schedule)
+        assert mutants, "every schedule must admit at least one mutant"
+        labels = [label for label, _ in mutants]
+        assert len(labels) == len(set(labels))
+        for label, mutant in mutants:
+            assert mutant.steps != schedule.steps, label
+            name = label.split("@")[0]
+            assert name in MUTATIONS

@@ -1,0 +1,106 @@
+"""Shrinker: minimizes failing grids while preserving the failure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.verify.inputs import generate_cases, reversed_grid, sorted_target
+from repro.verify.shrink import shrink_case, shrink_entries
+
+
+def _top_left_wrong(grid: np.ndarray) -> bool:
+    """Toy property failure: the minimum is not in the top-left cell."""
+    return int(grid[0, 0]) != int(grid.min())
+
+
+class TestShrinkEntries:
+    def test_result_still_fails(self):
+        start = reversed_grid(6, "row_major")
+        result = shrink_entries(_top_left_wrong, start)
+        assert _top_left_wrong(result.grid)
+        assert result.side == 6
+
+    def test_distance_shrinks_monotonically(self):
+        start = reversed_grid(6, "row_major")
+        target = sorted_target(6, "row_major")
+        result = shrink_entries(_top_left_wrong, start)
+        assert result.distance <= int(np.sum(start != target))
+        # 1-minimal for this property: only the misplaced minimum (and the
+        # cell holding its value) remain wrong.
+        assert result.distance == 2
+
+    def test_values_multiset_preserved(self):
+        start = reversed_grid(6, "snake")
+        result = shrink_entries(_top_left_wrong, start, order="snake")
+        assert sorted(result.grid.reshape(-1)) == sorted(start.reshape(-1))
+
+    def test_zero_one_grids_terminate(self):
+        """Donor selection must strictly reduce distance on 0-1 grids."""
+        grid = np.zeros((4, 4), dtype=np.int8)
+        grid[0, :] = 1  # ones on top: maximally unsorted rows-of-ones
+
+        def fails(g):
+            return int(g[0, 0]) == 1
+
+        result = shrink_entries(fails, grid, max_evaluations=500)
+        assert fails(result.grid)
+        assert result.evaluations < 500
+
+    def test_budget_is_respected(self):
+        start = reversed_grid(8, "row_major")
+        result = shrink_entries(_top_left_wrong, start, max_evaluations=5)
+        assert result.evaluations <= 5
+        assert _top_left_wrong(result.grid)
+
+    def test_passing_grid_rejected(self):
+        with pytest.raises(DimensionError):
+            shrink_entries(_top_left_wrong, sorted_target(4, "row_major"))
+
+    def test_batched_grid_rejected(self):
+        with pytest.raises(DimensionError):
+            shrink_entries(_top_left_wrong, np.zeros((2, 4, 4), dtype=np.int64))
+
+
+class TestShrinkCase:
+    def test_side_phase_finds_smaller_reproducer(self):
+        start = reversed_grid(8, "row_major")
+
+        def candidates(side):
+            return [reversed_grid(side, "row_major")]
+
+        result = shrink_case(
+            _top_left_wrong, start, candidates_for_side=candidates, sides=(4, 6)
+        )
+        assert result.side == 4
+        assert result.side_shrunk
+        assert _top_left_wrong(result.grid)
+
+    def test_without_candidates_only_entries_shrink(self):
+        start = reversed_grid(6, "row_major")
+        result = shrink_case(_top_left_wrong, start)
+        assert result.side == 6
+        assert not result.side_shrunk
+
+    def test_generated_cases_work_as_candidates(self):
+        start = reversed_grid(8, "snake")
+
+        def candidates(side):
+            return [
+                np.asarray(c.grid)
+                for c in generate_cases(side, "snake", seed=0)
+                if c.family in ("permutation", "adversarial")
+            ]
+
+        result = shrink_case(
+            _top_left_wrong, start, order="snake",
+            candidates_for_side=candidates, sides=(4,),
+        )
+        assert result.side == 4
+        assert _top_left_wrong(result.grid)
+
+    def test_describe_mentions_side_and_cost(self):
+        result = shrink_case(_top_left_wrong, reversed_grid(4, "row_major"))
+        text = result.describe()
+        assert "side=4" in text and "evaluations" in text
