@@ -1,0 +1,33 @@
+"""Static analysis for the reproduction: schedules and source code.
+
+Two layers, both pure — neither executes a single sort step:
+
+* :mod:`repro.analysis.schedule_check` proves structural properties of a
+  :class:`~repro.core.schedule.Schedule` against a concrete mesh
+  (comparator disjointness, bounds, wrap-around wiring, family
+  consistency, obliviousness) and reports every violation with a rule ID.
+  The comparator-network form it certifies is exactly what makes the
+  paper's Section 2 0-1 reduction applicable.
+* :mod:`repro.analysis.lint` enforces the repo's own conventions on the
+  source tree (RNG only via :mod:`repro.randomness`, typed errors at the
+  facade, a single observer-emission site, ...) with an AST rule engine.
+
+Both surface through ``repro analyze`` (see :mod:`repro.analysis.__main__`)
+and are documented in docs/ANALYSIS.md.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.schedule_check import (
+    SCHEDULE_RULES,
+    ScheduleReport,
+    ScheduleViolation,
+    check_schedule,
+)
+
+__all__ = [
+    "check_schedule",
+    "ScheduleReport",
+    "ScheduleViolation",
+    "SCHEDULE_RULES",
+]

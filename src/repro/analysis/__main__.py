@@ -1,0 +1,184 @@
+"""Command-line entry point: ``python -m repro.analysis`` (``repro analyze``).
+
+Examples::
+
+    repro analyze                      # lint src/ + tests/, verify schedules
+    repro analyze src/repro/verify     # lint one subtree
+    repro analyze --list-rules         # print the rule catalog
+    repro analyze --json               # machine-readable report on stdout
+    repro analyze --json-out report.json --quiet
+
+Exit status follows the package-wide contract: 0 when clean, 1 on any
+finding or schedule violation, 2 on bad usage.
+
+The schedule layer statically verifies the five paper algorithms (plus the
+shearsort baseline) at representative sides; the deliberately broken
+``row_major_no_wrap`` demo is excluded — it exists to violate SCH005.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import textwrap
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.lint import LintReport, all_rules, run_lint
+from repro.analysis.schedule_check import SCHEDULE_RULES, ScheduleReport, check_schedule
+from repro.baselines.shearsort import shearsort
+from repro.core.algorithms import ALGORITHM_NAMES, get_algorithm
+from repro.errors import AnalysisError
+
+__all__ = ["main", "default_paths", "schedule_reports"]
+
+#: Sides the schedule verifier sweeps (odd sides skipped for the
+#: ``requires_even_side`` algorithms, mirroring the paper's constraint).
+DEFAULT_SIDES = (4, 5, 6)
+
+
+def default_paths() -> list[Path]:
+    """``src`` and ``tests`` under the current directory, when present."""
+    return [path for path in (Path("src"), Path("tests")) if path.is_dir()]
+
+
+def schedule_reports(sides: Sequence[int] = DEFAULT_SIDES) -> list[ScheduleReport]:
+    """Static reports for the registry algorithms plus the shearsort baseline."""
+    reports = []
+    for name in ALGORITHM_NAMES:
+        schedule = get_algorithm(name)
+        for side in sides:
+            if schedule.requires_even_side and side % 2 != 0:
+                continue
+            reports.append(check_schedule(schedule, side))
+    for side in sides[:2]:
+        reports.append(check_schedule(shearsort(side), side))
+    return reports
+
+
+def _print_rule_catalog() -> None:
+    print("lint rules:")
+    for rule_id, rule in all_rules().items():
+        doc = textwrap.dedent(rule.__doc__ or "").strip()
+        print(f"  {rule_id}  {rule.title}")
+        for line in doc.splitlines():
+            print(f"      {line}" if line else "")
+    print("schedule rules:")
+    for rule_id, (severity, summary) in SCHEDULE_RULES.items():
+        print(f"  {rule_id}  [{severity}] {summary}")
+
+
+def _to_json(
+    lint: LintReport | None, schedules: list[ScheduleReport], ok: bool
+) -> dict[str, object]:
+    return {
+        "version": 1,
+        "ok": ok,
+        "lint": lint.to_json() if lint is not None else None,
+        "schedules": [report.to_json() for report in schedules],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description="Static analysis: domain lint rules + schedule verification.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files/directories to lint (default: src/ and tests/ when present)",
+    )
+    parser.add_argument(
+        "--rules", metavar="IDS", default=None,
+        help="comma-separated lint rule IDs to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    parser.add_argument(
+        "--no-lint", action="store_true", help="skip the source lint layer"
+    )
+    parser.add_argument(
+        "--no-schedules", action="store_true", help="skip the schedule verifier"
+    )
+    parser.add_argument(
+        "--sides", nargs="+", type=int, metavar="N", default=list(DEFAULT_SIDES),
+        help=f"mesh sides for the schedule verifier (default: {DEFAULT_SIDES})",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the report as JSON on stdout"
+    )
+    parser.add_argument(
+        "--json-out", metavar="FILE", default=None,
+        help="also write the JSON report to FILE",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="print only the final summary line"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rule_catalog()
+        return 0
+
+    try:
+        selected = None
+        if args.rules is not None:
+            catalog = all_rules()
+            wanted = [r.strip() for r in args.rules.split(",") if r.strip()]
+            unknown = [r for r in wanted if r not in catalog]
+            if unknown:
+                raise AnalysisError(
+                    f"unknown lint rules {unknown}; known: {', '.join(catalog)}"
+                )
+            selected = [catalog[r] for r in wanted]
+
+        lint_report: LintReport | None = None
+        if not args.no_lint:
+            paths = [Path(p) for p in args.paths] if args.paths else default_paths()
+            if not paths:
+                raise AnalysisError(
+                    "no paths given and no src/ or tests/ directory here; "
+                    "pass explicit paths"
+                )
+            lint_report = run_lint(paths, rules=selected)
+
+        schedules: list[ScheduleReport] = []
+        if not args.no_schedules:
+            schedules = schedule_reports(tuple(args.sides))
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    lint_ok = lint_report.ok if lint_report is not None else True
+    schedules_ok = all(report.ok for report in schedules)
+    ok = lint_ok and schedules_ok
+
+    if args.json:
+        print(json.dumps(_to_json(lint_report, schedules, ok), indent=2))
+    if args.json_out:
+        out = Path(args.json_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(_to_json(lint_report, schedules, ok), indent=2))
+        if not args.json:
+            print(f"wrote {out}")
+
+    if not args.json:
+        if lint_report is not None and not (args.quiet and lint_ok):
+            print(lint_report.describe())
+        for report in schedules:
+            if not report.ok or not args.quiet:
+                print(report.describe())
+        n_sched_violations = sum(len(r.violations) for r in schedules)
+        print(
+            f"{'PASS' if ok else 'FAIL'}: "
+            f"{len(lint_report.findings) if lint_report else 0} lint finding(s), "
+            f"{n_sched_violations} schedule violation(s) "
+            f"across {len(schedules)} schedule report(s)"
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

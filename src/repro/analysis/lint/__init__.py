@@ -1,0 +1,34 @@
+"""AST-based domain lint engine for the repo's own conventions.
+
+PRs 1-4 established repo-wide invariants by convention and grep: every RNG
+is built by :mod:`repro.randomness`, the public facade raises only
+:mod:`repro.errors` types, observer events are constructed in exactly one
+place, wall-clock reads go through :mod:`repro.obs.timing`.  This package
+enforces them mechanically:
+
+* :mod:`repro.analysis.lint.registry` — the rule base class and registry;
+* :mod:`repro.analysis.lint.rules` — the built-in ``RPR1xx`` rules;
+* :mod:`repro.analysis.lint.engine` — file walking, parsing, suppression
+  comments, and :func:`run_lint`.
+
+Suppress a finding with a trailing ``# repro: allow=RPR104`` comment on the
+flagged line (comma-separate several IDs, ``*`` allows all), or a
+``# repro: allow-file=RPR106`` comment within a file's first ten lines.
+See docs/ANALYSIS.md for the rule catalog.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lint.engine import LintReport, lint_file, run_lint
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.registry import LintRule, all_rules, get_rule
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "LintRule",
+    "all_rules",
+    "get_rule",
+    "lint_file",
+    "run_lint",
+]

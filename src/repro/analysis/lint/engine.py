@@ -1,0 +1,177 @@
+"""File walking, suppression comments, and the :func:`run_lint` entry point.
+
+The engine parses each ``.py`` file once, derives its dotted module name
+from the path (``src/repro/...`` becomes ``repro...``, ``tests/...``
+becomes ``tests...``), runs every selected rule over the tree, and filters
+findings through the suppression comments:
+
+* line-level — a comment on the flagged line::
+
+      rng = np.random.default_rng(0)  # repro: allow=RPR101
+      x = call()  # repro: allow=RPR101,RPR104
+      y = call()  # repro: allow=*
+
+* file-level — anywhere in the first ten lines::
+
+      # repro: allow-file=RPR106
+
+Suppressions are counted, not forgotten: :class:`LintReport` reports how
+many findings each file silenced so ``repro analyze --json`` can surface
+suppression creep.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.registry import LintRule, ModuleContext, all_rules
+from repro.errors import AnalysisError
+
+__all__ = ["LintReport", "lint_file", "run_lint"]
+
+_ALLOW_LINE = re.compile(r"#\s*repro:\s*allow=([A-Z0-9*,\s]+)")
+_ALLOW_FILE = re.compile(r"#\s*repro:\s*allow-file=([A-Z0-9*,\s]+)")
+_FILE_PRAGMA_WINDOW = 10
+# "fixtures" keeps rule-trigger fixture files (deliberate violations used
+# by the analysis test suite) out of directory sweeps; lint them explicitly
+# with lint_file() when the finding itself is the thing under test.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", "build", "dist", "fixtures"}
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run established."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def describe(self) -> str:
+        lines = [f.describe() for f in self.findings]
+        lines += [f"parse error: {msg}" for msg in self.parse_errors]
+        lines.append(
+            f"{len(self.findings)} finding(s) in {self.files_checked} file(s)"
+            + (f", {self.suppressed} suppressed" if self.suppressed else "")
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "findings": [f.to_json() for f in self.findings],
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "parse_errors": list(self.parse_errors),
+        }
+
+
+def _ids(match_text: str) -> set[str]:
+    return {part.strip() for part in match_text.split(",") if part.strip()}
+
+
+def _suppressions(source: str) -> tuple[set[str], dict[int, set[str]]]:
+    """``(file_level_ids, line -> ids)`` from the suppression comments."""
+    file_ids: set[str] = set()
+    line_ids: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "#" not in line:
+            continue
+        match = _ALLOW_FILE.search(line)
+        if match and lineno <= _FILE_PRAGMA_WINDOW:
+            file_ids |= _ids(match.group(1))
+        match = _ALLOW_LINE.search(line)
+        if match:
+            line_ids.setdefault(lineno, set()).update(_ids(match.group(1)))
+    return file_ids, line_ids
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name derived from ``path`` (best effort).
+
+    ``.../src/repro/obs/timing.py`` -> ``repro.obs.timing``;
+    ``.../tests/core/test_schedule.py`` -> ``tests.core.test_schedule``;
+    anything else falls back to the file stem.
+    """
+    parts = path.parts
+    for anchor in ("src", "tests"):
+        if anchor in parts:
+            index = len(parts) - 1 - parts[::-1].index(anchor)
+            tail = parts[index:] if anchor == "tests" else parts[index + 1:]
+            dotted = ".".join(tail)[: -len(".py")] if tail else path.stem
+            if dotted.endswith(".__init__"):
+                dotted = dotted[: -len(".__init__")]
+            return dotted
+    return path.stem
+
+
+def lint_file(
+    path: str | Path, rules: Iterable[LintRule] | None = None
+) -> tuple[list[Finding], int]:
+    """Lint one file.  Returns ``(kept_findings, suppressed_count)``."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    ctx = ModuleContext(
+        path=path, tree=tree, source=source, module=module_name_for(path)
+    )
+    selected = list(rules) if rules is not None else list(all_rules().values())
+    file_ids, line_ids = _suppressions(source)
+    kept: list[Finding] = []
+    suppressed = 0
+    for rule in selected:
+        for finding in rule.check(ctx):
+            allowed = file_ids | line_ids.get(finding.line, set())
+            if "*" in allowed or finding.rule in allowed:
+                suppressed += 1
+            else:
+                kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept, suppressed
+
+
+def _iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                files.append(path)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    files.append(candidate)
+        else:
+            raise AnalysisError(f"no such file or directory: {path}")
+    return files
+
+
+def run_lint(
+    paths: Sequence[str | Path], rules: Iterable[LintRule] | None = None
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` with the selected rules.
+
+    A file that fails to parse is recorded in ``parse_errors`` (and fails
+    the run) rather than aborting the sweep.
+    """
+    selected = list(rules) if rules is not None else list(all_rules().values())
+    report = LintReport()
+    for path in _iter_python_files(paths):
+        try:
+            findings, suppressed = lint_file(path, selected)
+        except SyntaxError as exc:
+            report.parse_errors.append(f"{path}: {exc.msg} (line {exc.lineno})")
+            continue
+        report.files_checked += 1
+        report.findings.extend(findings)
+        report.suppressed += suppressed
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report

@@ -1,0 +1,101 @@
+"""Rule base class and registry for the domain lint engine.
+
+A rule is a small object with a stable ``RPR1xx`` ID, a docstring that
+doubles as its catalog entry, and a :meth:`LintRule.check` method yielding
+:class:`~repro.analysis.lint.findings.Finding` records for one parsed
+module.  Rules register themselves with the :func:`register` decorator at
+import time; :func:`all_rules` imports the built-in rule modules on first
+use, so third parties can register additional rules before calling the
+engine.
+"""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Type
+
+from repro.analysis.lint.findings import Finding
+from repro.errors import AnalysisError
+
+__all__ = ["ModuleContext", "LintRule", "register", "all_rules", "get_rule"]
+
+
+@dataclass
+class ModuleContext:
+    """One parsed source file, as seen by every rule."""
+
+    path: Path
+    tree: ast.Module
+    source: str
+    module: str  # dotted module name ("repro.verify.runner", "tests.core.x")
+
+    @property
+    def is_src(self) -> bool:
+        """True for files inside the ``repro`` package."""
+        return self.module == "repro" or self.module.startswith("repro.")
+
+    @property
+    def is_test(self) -> bool:
+        """True for files under the test suite."""
+        return self.module == "tests" or self.module.startswith("tests.")
+
+
+class LintRule(ABC):
+    """One domain rule.  Subclasses set ``id``/``title`` and implement
+    :meth:`check`; the class docstring is the rule's catalog entry and
+    should state the *why* alongside the *what*."""
+
+    id: str = ""
+    title: str = ""
+
+    @abstractmethod
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield a finding for every violation in ``ctx``."""
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
+        """A :class:`Finding` anchored at ``node``."""
+        return Finding(
+            rule=self.id,
+            path=str(ctx.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, LintRule] = {}
+
+
+def register(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator: instantiate and register a rule by its ID."""
+    rule = cls()
+    if not rule.id or not rule.title:
+        raise AnalysisError(f"rule {cls.__name__} must define id and title")
+    if rule.id in _REGISTRY:
+        raise AnalysisError(f"duplicate lint rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def _load_builtin_rules() -> None:
+    import repro.analysis.lint.rules  # noqa: F401  (registers on import)
+
+
+def all_rules() -> dict[str, LintRule]:
+    """Every registered rule, keyed by ID, built-ins included."""
+    _load_builtin_rules()
+    return dict(sorted(_REGISTRY.items()))
+
+
+def get_rule(rule_id: str) -> LintRule:
+    """Look up one rule by ID."""
+    rules = all_rules()
+    try:
+        return rules[rule_id]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown lint rule {rule_id!r}; known: {', '.join(rules)}"
+        ) from None

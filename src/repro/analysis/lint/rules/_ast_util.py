@@ -1,0 +1,32 @@
+"""Small AST helpers shared by the built-in rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = ["dotted_name", "call_name", "walk_calls"]
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``"np.random.default_rng"`` for a pure attribute chain, else ``""``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def call_name(node: ast.Call) -> str:
+    """The dotted name a call resolves to (``""`` when not a name chain)."""
+    return dotted_name(node.func)
+
+
+def walk_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    """Yield every :class:`ast.Call` in ``tree``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node

@@ -1,0 +1,96 @@
+"""General hygiene rules: the bug classes that survive review most often."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.registry import LintRule, ModuleContext, register
+
+__all__ = ["MutableDefaultArg", "SilentBroadExcept"]
+
+
+@register
+class MutableDefaultArg(LintRule):
+    """RPR105: no mutable default arguments, in src or tests.
+
+    A ``def f(x=[])`` default is evaluated once and shared across calls —
+    state leaks between callers (and, in this repo, between Monte-Carlo
+    trials, which corrupts reproducibility silently).  Use ``None`` plus an
+    inside-the-function default.
+    """
+
+    id = "RPR105"
+    title = "mutable default argument"
+
+    _MUTABLE_CALLS = {"list", "dict", "set"}
+
+    def _is_mutable(self, default: ast.expr) -> bool:
+        if isinstance(default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                                ast.DictComp, ast.SetComp)):
+            return True
+        return (
+            isinstance(default, ast.Call)
+            and isinstance(default.func, ast.Name)
+            and default.func.id in self._MUTABLE_CALLS
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx, default,
+                        f"mutable default argument in `{node.name}`; default "
+                        "to None and build the container inside the function",
+                    )
+
+
+@register
+class SilentBroadExcept(LintRule):
+    """RPR107: no silently-swallowed broad excepts.
+
+    ``except Exception: pass`` (or a bare ``except: pass``) hides every
+    failure mode including the ones this repo's verification harness
+    exists to surface.  Catch the specific :mod:`repro.errors` type, or at
+    minimum record why ignoring is safe.
+    """
+
+    id = "RPR107"
+    title = "silent broad except"
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def _is_broad(self, handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        if isinstance(handler.type, ast.Name):
+            return handler.type.id in self._BROAD
+        if isinstance(handler.type, ast.Tuple):
+            return any(
+                isinstance(el, ast.Name) and el.id in self._BROAD
+                for el in handler.type.elts
+            )
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            body_is_silent = all(
+                isinstance(stmt, ast.Pass)
+                or (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant))
+                for stmt in node.body
+            )
+            if body_is_silent and self._is_broad(node):
+                yield self.finding(
+                    ctx, node,
+                    "broad except with an empty body swallows every failure; "
+                    "catch the specific error or handle it visibly",
+                )

@@ -1,0 +1,84 @@
+"""Observability discipline: one emission site, one clock.
+
+PR 2 collapsed four executors' ad-hoc event dispatch into the driver's
+``emit_*`` helpers ("single site, grep-verified") and PR 1 deduplicated
+timing through :mod:`repro.obs.timing`.  These rules replace the grep.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.registry import LintRule, ModuleContext, register
+from repro.analysis.lint.rules._ast_util import call_name, walk_calls
+
+__all__ = ["EventConstruction", "AdHocClock"]
+
+
+@register
+class EventConstruction(LintRule):
+    """RPR103: run-level observer events are built only inside the driver.
+
+    Flags construction of ``RunStart``/``StepEvent``/``CycleEvent``/
+    ``RunEnd`` outside :mod:`repro.backends.driver` (the single emission
+    site) and :mod:`repro.obs.events` (where the classes live and the
+    recording observer snapshots them).  Everything else must route through
+    the driver's ``emit_*`` helpers so observers see one schema regardless
+    of executor.
+    """
+
+    id = "RPR103"
+    title = "observer-event construction outside the driver"
+
+    _EVENTS = {"RunStart", "StepEvent", "CycleEvent", "RunEnd"}
+    _ALLOWED_MODULES = {"repro.backends.driver", "repro.obs.events"}
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.is_src or ctx.module in self._ALLOWED_MODULES:
+            return
+        for call in walk_calls(ctx.tree):
+            dotted = call_name(call)
+            if dotted.rsplit(".", 1)[-1] in self._EVENTS:
+                yield self.finding(
+                    ctx, call,
+                    f"`{dotted}(...)` constructs a run-level event outside "
+                    "repro.backends.driver; use the driver's emit_* helpers",
+                )
+
+
+@register
+class AdHocClock(LintRule):
+    """RPR104: wall-clock reads go through :mod:`repro.obs.timing`.
+
+    Flags ``time.time()``/``time.perf_counter()``/``time.monotonic()`` (and
+    the ``_ns`` variants) outside :mod:`repro.obs.timing` and
+    :mod:`repro.obs.metrics`.  Use :class:`~repro.obs.timing.StopWatch` or
+    a metrics :class:`~repro.obs.metrics.Timer`: they are mockable in
+    tests, consistent about which clock they read, and feed the
+    ``repro_*_seconds`` instruments.
+    """
+
+    id = "RPR104"
+    title = "ad-hoc wall-clock read"
+
+    _CLOCKS = {
+        "time.time",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+    }
+    _ALLOWED_MODULES = {"repro.obs.timing", "repro.obs.metrics"}
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.is_src or ctx.module in self._ALLOWED_MODULES:
+            return
+        for call in walk_calls(ctx.tree):
+            dotted = call_name(call)
+            if dotted in self._CLOCKS:
+                yield self.finding(
+                    ctx, call,
+                    f"`{dotted}()` read outside repro.obs.timing; use "
+                    "StopWatch (or a metrics Timer) instead",
+                )

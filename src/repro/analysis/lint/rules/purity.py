@@ -1,0 +1,113 @@
+"""Randomness discipline: every stream is derived from a recorded seed.
+
+The campaign and verification layers depend on bit-identical replay from a
+single root seed (SeedSequence spawning, shard re-derivation, checkpoint
+resume).  One stray ``default_rng()`` or global ``seed()`` call breaks that
+chain silently, so construction is confined to :mod:`repro.randomness`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.registry import LintRule, ModuleContext, register
+from repro.analysis.lint.rules._ast_util import call_name, walk_calls
+
+__all__ = ["RngConstruction", "GlobalSeeding"]
+
+#: RNG entry points that must only be touched by ``repro.randomness``.
+_RNG_CONSTRUCTORS = {
+    "default_rng",
+    "RandomState",
+    "SeedSequence",
+}
+_RNG_MODULES = {"repro.randomness"}
+
+
+def _is_numpy_random(dotted: str) -> bool:
+    return dotted.startswith(("np.random.", "numpy.random.")) or dotted in (
+        "default_rng",  # from numpy.random import default_rng
+    )
+
+
+@register
+class RngConstruction(LintRule):
+    """RPR101: random streams are constructed only by ``repro.randomness``.
+
+    Flags ``import random`` / ``from random import ...`` and any call to
+    ``np.random.default_rng`` / ``RandomState`` / ``SeedSequence`` in a
+    ``repro.*`` module other than :mod:`repro.randomness`.  Pass seeds (or
+    generators obtained from :func:`repro.randomness.as_generator`) instead:
+    that keeps every stream re-derivable from the recorded root seed.
+    """
+
+    id = "RPR101"
+    title = "RNG construction outside repro.randomness"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.is_src or ctx.module in _RNG_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            ctx, node,
+                            "stdlib `random` imported; use repro.randomness "
+                            "(seeded numpy Generators) instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        ctx, node,
+                        "stdlib `random` imported; use repro.randomness "
+                        "(seeded numpy Generators) instead",
+                    )
+                elif node.module in ("numpy.random", "np.random"):
+                    for alias in node.names:
+                        if alias.name in _RNG_CONSTRUCTORS:
+                            yield self.finding(
+                                ctx, node,
+                                f"`{alias.name}` imported from numpy.random; "
+                                "construct generators via repro.randomness",
+                            )
+        for call in walk_calls(ctx.tree):
+            dotted = call_name(call)
+            if not dotted:
+                continue
+            tail = dotted.rsplit(".", 1)[-1]
+            if tail in _RNG_CONSTRUCTORS and _is_numpy_random(dotted):
+                yield self.finding(
+                    ctx, call,
+                    f"`{dotted}(...)` constructs an RNG outside "
+                    "repro.randomness; use as_generator/spawn_generators/"
+                    "as_seed_sequence so the stream stays replayable",
+                )
+
+
+@register
+class GlobalSeeding(LintRule):
+    """RPR108: no process-global RNG seeding, anywhere.
+
+    ``np.random.seed`` / ``random.seed`` mutate interpreter-global state:
+    two call sites silently couple, and worker processes inherit whatever
+    the parent last set.  Explicit ``Generator`` objects (as enforced by
+    RPR101) make seeding local and auditable; the global form is banned in
+    src *and* tests.
+    """
+
+    id = "RPR108"
+    title = "process-global RNG seeding"
+
+    _BANNED = {"np.random.seed", "numpy.random.seed", "random.seed"}
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for call in walk_calls(ctx.tree):
+            if call_name(call) in self._BANNED:
+                yield self.finding(
+                    ctx, call,
+                    f"`{call_name(call)}(...)` seeds a process-global RNG; "
+                    "pass an explicit seed or Generator instead",
+                )

@@ -1,0 +1,56 @@
+"""Error-contract discipline: the facade raises :mod:`repro.errors` types.
+
+PR 4 fixed several facade entry points that leaked bare builtins; callers
+are promised that ``except ReproError`` catches every library failure
+without swallowing unrelated bugs.  A stray ``raise ValueError`` breaks
+that contract invisibly — until a caller's error handling misses it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.registry import LintRule, ModuleContext, register
+
+__all__ = ["BareBuiltinRaise"]
+
+
+@register
+class BareBuiltinRaise(LintRule):
+    """RPR102: library code raises the :mod:`repro.errors` taxonomy.
+
+    Flags ``raise ValueError/TypeError/RuntimeError/KeyError/Exception``
+    in any ``repro.*`` module (the taxonomy module itself excepted).  Use
+    :class:`~repro.errors.DimensionError` for bad inputs and the other
+    ``ReproError`` subclasses for the rest; they inherit the matching
+    builtin, so existing ``except ValueError`` callers keep working.
+    ``NotImplementedError`` (abstract hooks) and re-raises are not flagged.
+    """
+
+    id = "RPR102"
+    title = "bare builtin exception raised from library code"
+
+    _BUILTINS = {"ValueError", "TypeError", "RuntimeError", "KeyError", "Exception"}
+    _ALLOWED_MODULES = {"repro.errors"}
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.is_src or ctx.module in self._ALLOWED_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name = ""
+            if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                name = exc.func.id
+            elif isinstance(exc, ast.Name):
+                name = exc.id
+            if name in self._BUILTINS:
+                yield self.finding(
+                    ctx, node,
+                    f"`raise {name}` from library code; raise a repro.errors "
+                    "type (e.g. DimensionError) so `except ReproError` "
+                    "catches it",
+                )

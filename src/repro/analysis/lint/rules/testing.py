@@ -1,0 +1,62 @@
+"""Test-suite discipline rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.registry import LintRule, ModuleContext, register
+
+__all__ = ["FloatLiteralEquality"]
+
+
+@register
+class FloatLiteralEquality(LintRule):
+    """RPR106: no ``==`` against float expressions in tests.
+
+    Comparing a computed float to a literal with ``==`` usually works until
+    an implementation detail reorders the arithmetic; use
+    ``pytest.approx``/``math.isclose``/``np.isclose`` with an explicit
+    tolerance.  When *bit-exactness is the property under test* (this
+    repo's checkpoint round-trip and backend-parity guarantees), keep the
+    ``==`` and mark the line ``# repro: allow=RPR106`` so the intent is
+    explicit.
+
+    Detection: an ``==``/``!=`` whose comparand contains a non-integral
+    float literal outside any call — ``x == 0.5`` and
+    ``x == 0.25 + 0.5 / 128`` are flagged, ``x == pytest.approx(0.5)`` and
+    ``x == 2`` are not.
+    """
+
+    id = "RPR106"
+    title = "float literal equality in tests"
+
+    def _has_bare_float(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Call):
+            return False  # approx(0.5), isclose(...): the helper owns it
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        return any(
+            self._has_bare_float(child)
+            for child in ast.iter_child_nodes(node)
+            if isinstance(child, ast.expr)
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.is_test:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            for comparand in [node.left, *node.comparators]:
+                if self._has_bare_float(comparand):
+                    yield self.finding(
+                        ctx, node,
+                        "float equality against a literal; use pytest.approx "
+                        "(or mark `# repro: allow=RPR106` when bit-exactness "
+                        "is the property under test)",
+                    )
+                    break

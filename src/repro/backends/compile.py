@@ -22,7 +22,7 @@ from typing import Callable, NamedTuple
 
 import numpy as np
 
-from repro.core.algorithms import check_side
+from repro.analysis.schedule_check import ScheduleReport, check_schedule
 from repro.core.schedule import (
     FORWARD,
     LineOp,
@@ -31,9 +31,8 @@ from repro.core.schedule import (
     WrapOp,
     lines_slice,
     pair_count,
-    validate_schedule,
 )
-from repro.errors import DimensionError, UnsupportedMeshError
+from repro.errors import DimensionError
 
 __all__ = [
     "CompiledSchedule",
@@ -112,33 +111,22 @@ def _compile_op(op: Op, rows: int, cols: int) -> Kernel:
 class CompiledSchedule:
     """A schedule specialized to a concrete ``rows x cols`` mesh.
 
-    Compiling resolves every op into an in-place NumPy kernel and validates
-    the schedule once.  Square meshes keep the historical square semantics
-    (side-parity constraint plus step-op disjointness); rectangles keep the
-    rectangular constraints (both dimensions >= 2, even column count for the
-    wrap-around algorithms).
+    Compiling resolves every op into an in-place NumPy kernel and runs the
+    static schedule verifier (:mod:`repro.analysis.schedule_check`) once as
+    a pre-compile pass: *structural* violations — overlapping comparators,
+    mesh bounds, the paper's even-column constraint for the wrap-around
+    algorithms — refuse compilation with the historical exception types,
+    while the full :class:`~repro.analysis.schedule_check.ScheduleReport`
+    (policy findings included) is kept on :attr:`analysis` and cached with
+    the kernels via :func:`compiled_schedule`.
     """
 
     def __init__(self, schedule: Schedule, rows: int, cols: int | None = None):
         if cols is None:
             cols = rows
         rows, cols = int(rows), int(cols)
-        if rows == cols:
-            check_side(schedule, rows)
-            validate_schedule(schedule, rows)
-        else:
-            if rows < 2 or cols < 2:
-                raise UnsupportedMeshError(
-                    f"rectangular meshes need both dimensions >= 2, got {(rows, cols)}"
-                )
-            if schedule.requires_even_side and cols % 2 != 0:
-                # the wrap comparisons collide with the even row step in the
-                # last column exactly when the column count is odd (the same
-                # structural constraint as the paper's sqrt(N) = 2n).
-                raise UnsupportedMeshError(
-                    f"algorithm {schedule.name!r} requires an even number of "
-                    f"columns; got {cols}"
-                )
+        self.analysis: ScheduleReport = check_schedule(schedule, rows, cols)
+        self.analysis.raise_for_structural()
         self.schedule = schedule
         self.rows, self.cols = rows, cols
         self._steps: list[list[Kernel]] = [

@@ -23,7 +23,6 @@ them.
 
 from __future__ import annotations
 
-import time
 from typing import Any, Iterator
 
 import numpy as np
@@ -40,6 +39,7 @@ from repro.core.schedule import Schedule
 from repro.errors import StepLimitExceeded
 from repro.obs.context import resolve_observer
 from repro.obs.events import CycleEvent, Observer, RunEnd, RunStart, StepEvent
+from repro.obs.timing import StopWatch
 
 __all__ = [
     "run_sort",
@@ -182,7 +182,7 @@ def run_sort(
     steps = np.where(done, 0, steps)
 
     _start_run(be, run, schedule, obs, max_steps)
-    clock = time.perf_counter()
+    watch = StopWatch().start()
     t = 0
     while t < max_steps and not np.all(done):
         t += 1
@@ -197,7 +197,7 @@ def run_sort(
             obs,
             steps=_scalarize(np.where(done, steps, -1), be.supports_batch),
             completed=_scalarize(done, be.supports_batch),
-            wall_time=time.perf_counter() - clock,
+            wall_time=watch.elapsed,
         )
 
     completed = np.asarray(done)
@@ -229,13 +229,13 @@ def run_steps(
     obs = resolve_observer(observer)
     want_swaps = be.counts_swaps or (obs is not None and wants_swap_detail(obs))
     _start_run(be, run, schedule, obs, num_steps)
-    clock = time.perf_counter()
+    watch = StopWatch().start()
     for t in range(start_t, start_t + num_steps):
         _step_and_emit(run, t, obs, want_swaps)
     if obs is not None:
         emit_run_end(
             obs, steps=num_steps, completed=None,
-            wall_time=time.perf_counter() - clock,
+            wall_time=watch.elapsed,
         )
     return run.final()
 
@@ -264,12 +264,12 @@ def iter_run(
     obs = resolve_observer(observer)
     want_swaps = be.counts_swaps or (obs is not None and wants_swap_detail(obs))
     _start_run(be, run, schedule, obs, num_steps)
-    clock = time.perf_counter()
+    watch = StopWatch().start()
     for t in range(start_t, start_t + num_steps):
         _step_and_emit(run, t, obs, want_swaps)
         yield t, run.iter_grid(copy)
     if obs is not None:
         emit_run_end(
             obs, steps=num_steps, completed=None,
-            wall_time=time.perf_counter() - clock,
+            wall_time=watch.elapsed,
         )

@@ -105,7 +105,7 @@ class CheckpointStore:
                 raise CheckpointError(
                     f"checkpoint {self.path} line {lineno} is corrupt "
                     "(not a torn tail); refusing to guess at its contents"
-                )
+                ) from None
             index = int(record["shard"])
             values = np.asarray(record["values"], dtype=dtype)
             if values.size != int(record["trials"]):

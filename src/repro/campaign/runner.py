@@ -26,7 +26,6 @@ from the coordinating process instead.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
 from typing import Any
@@ -40,6 +39,7 @@ from repro.errors import CampaignError, DimensionError
 from repro.obs.context import no_observer, resolve_observer
 from repro.obs.events import CampaignEnd, CampaignStart, Observer, ShardEnd
 from repro.obs.manifest import write_manifest
+from repro.obs.timing import StopWatch
 from repro.randomness import as_generator, seed_provenance
 
 __all__ = ["run_campaign", "execute_shard"]
@@ -139,7 +139,7 @@ def run_campaign(
 
     plan = spec.shards()
     obs = resolve_observer(observer)
-    clock = time.perf_counter()
+    watch = StopWatch().start()
 
     store: CheckpointStore | None = None
     completed: dict[int, np.ndarray] = {}
@@ -207,7 +207,7 @@ def run_campaign(
         if store is not None:
             store.close()
 
-    elapsed = time.perf_counter() - clock
+    elapsed = watch.elapsed
     complete = len(completed) == len(plan)
     values = _merge(spec, completed)
     if obs is not None:
@@ -253,7 +253,7 @@ def _run_serial(spec, todo, attempts, retries, finish_shard) -> None:
     """Plan-order in-process execution (workers=1)."""
     for shard in todo:
         while True:
-            start = time.perf_counter()
+            shard_watch = StopWatch().start()
             try:
                 values = execute_shard(spec, shard.index, shard.trials)
             except Exception as exc:
@@ -265,7 +265,7 @@ def _run_serial(spec, todo, attempts, retries, finish_shard) -> None:
                         f"{attempts[shard.index]} attempt(s): {exc!r}",
                     ) from exc
                 continue
-            finish_shard(shard, values, time.perf_counter() - start)
+            finish_shard(shard, values, shard_watch.elapsed)
             break
 
 
@@ -287,12 +287,12 @@ def _run_pool(spec, todo, attempts, retries, workers, finish_shard) -> int:
             future_to_shard = {
                 pool.submit(_shard_task, spec, shard.index, shard.trials): (
                     shard,
-                    time.perf_counter(),
+                    StopWatch().start(),
                 )
                 for shard in remaining
             }
             for future in as_completed(future_to_shard):
-                shard, start = future_to_shard[future]
+                shard, shard_watch = future_to_shard[future]
                 try:
                     values = future.result()
                 except Exception:
@@ -305,7 +305,7 @@ def _run_pool(spec, todo, attempts, retries, workers, finish_shard) -> int:
                     else:
                         next_round.append(shard)
                     continue
-                finish_shard(shard, values, time.perf_counter() - start)
+                finish_shard(shard, values, shard_watch.elapsed)
         if failed_for_good:
             raise CampaignError(sorted(failed_for_good))
         # Re-run failures in plan order, in a fresh pool.

@@ -5,12 +5,21 @@ points, so ``repro verify --smoke`` is exactly ``python -m repro.verify
 --smoke`` and ``repro experiments E-T2`` is ``python -m repro.experiments
 E-T2``.  Installed via ``[project.scripts]`` in ``pyproject.toml``; in a
 source checkout the ``python -m`` forms work without installation.
+
+Every subcommand honours one exit-code contract:
+
+* ``0`` — success (all checks passed / work completed);
+* ``1`` — findings or failures (verification violations, lint findings);
+* ``2`` — usage error (unknown subcommand, bad flags).
 """
 
 from __future__ import annotations
 
+import os
 import sys
 from typing import Callable
+
+from repro._version import __version__
 
 __all__ = ["main"]
 
@@ -27,19 +36,27 @@ def _run_verify(argv: list[str]) -> int:
     return main(argv)
 
 
+def _run_analyze(argv: list[str]) -> int:
+    from repro.analysis.__main__ import main
+
+    return main(argv)
+
+
 _SUBCOMMANDS: dict[str, tuple[Callable[[list[str]], int], str]] = {
     "experiments": (_run_experiments, "run paper experiments (alias: exp)"),
     "exp": (_run_experiments, "alias for 'experiments'"),
     "verify": (_run_verify, "differential + metamorphic backend verification"),
+    "analyze": (_run_analyze, "static analysis: domain lint + schedule verifier"),
 }
 
 
 def _usage() -> str:
-    lines = ["usage: repro <subcommand> [args...]", "", "subcommands:"]
+    lines = ["usage: repro [--version] <subcommand> [args...]", "", "subcommands:"]
     for name, (_, help_text) in _SUBCOMMANDS.items():
         lines.append(f"  {name:12s} {help_text}")
     lines.append("")
     lines.append("run 'repro <subcommand> --help' for subcommand options")
+    lines.append("exit codes: 0 ok, 1 findings/failures, 2 usage error")
     return "\n".join(lines)
 
 
@@ -48,12 +65,21 @@ def main(argv: list[str] | None = None) -> int:
     if not argv or argv[0] in ("-h", "--help"):
         print(_usage())
         return 0 if argv else 2
+    if argv[0] in ("--version", "-V"):
+        print(f"repro {__version__}")
+        return 0
     name, rest = argv[0], argv[1:]
     entry = _SUBCOMMANDS.get(name)
     if entry is None:
         print(f"error: unknown subcommand {name!r}\n\n{_usage()}", file=sys.stderr)
         return 2
-    return entry[0](rest)
+    try:
+        return entry[0](rest)
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped into `head`): exit quietly.  Point
+        # stdout at devnull so the interpreter's final flush cannot re-raise.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

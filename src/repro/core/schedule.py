@@ -24,7 +24,7 @@ implement byte-identical semantics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Literal
+from typing import Any, Iterator, Literal
 
 import numpy as np
 
@@ -198,7 +198,7 @@ class Schedule:
     steps: tuple[Step, ...]
     order: str
     requires_even_side: bool = False
-    metadata: dict = field(default_factory=dict, compare=False)
+    metadata: dict[str, Any] = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
         if not self.steps:

@@ -16,6 +16,7 @@ __all__ = [
     "MissingWireError",
     "CampaignError",
     "CheckpointError",
+    "AnalysisError",
 ]
 
 
@@ -51,7 +52,9 @@ class StepLimitExceeded(ReproError, RuntimeError):
         Number of batch elements that had not reached the target order.
     """
 
-    def __init__(self, steps_taken: int, unfinished: int, message: str | None = None):
+    def __init__(
+        self, steps_taken: int, unfinished: int, message: str | None = None
+    ) -> None:
         self.steps_taken = steps_taken
         self.unfinished = unfinished
         super().__init__(
@@ -75,8 +78,8 @@ class CampaignError(ReproError, RuntimeError):
         Indices of the shards that exhausted their retries.
     """
 
-    def __init__(self, failed_shards: list[int], message: str | None = None):
-        self.failed_shards = list(failed_shards)
+    def __init__(self, failed_shards: list[int], message: str | None = None) -> None:
+        self.failed_shards: list[int] = list(failed_shards)
         super().__init__(
             message
             or f"campaign failed on shard(s) {self.failed_shards} after retries"
@@ -90,6 +93,15 @@ class CheckpointError(ReproError, RuntimeError):
     campaign spec being resumed (the stored shards were produced by a
     different (algorithm, side, trials, seed, ...) declaration and must
     not be merged), or when the header itself is corrupt.
+    """
+
+
+class AnalysisError(ReproError, ValueError):
+    """A static-analysis run was misconfigured (unknown rule, bad path, ...).
+
+    Raised by :mod:`repro.analysis` for problems with the analysis request
+    itself — *findings* in the analyzed code are reported in the returned
+    reports, never raised.
     """
 
 

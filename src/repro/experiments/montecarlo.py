@@ -27,7 +27,7 @@ import numpy as np
 from repro.backends import Backend, get_backend, run_sort, run_steps, step_cap
 from repro.core.runner import resolve_algorithm
 from repro.core.schedule import Schedule
-from repro.errors import StepLimitExceeded
+from repro.errors import DimensionError, StepLimitExceeded
 from repro.obs.events import Observer
 from repro.randomness import SeedLike, as_generator, random_permutation_grid, random_zero_one_grid
 
@@ -98,7 +98,7 @@ def summarize(values: np.ndarray) -> TrialStats:
     """Summarize a 1-D sample."""
     arr = np.asarray(values, dtype=np.float64).ravel()
     if arr.size == 0:
-        raise ValueError("cannot summarize an empty sample")
+        raise DimensionError("cannot summarize an empty sample")
     std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
     return TrialStats(
         count=int(arr.size),
@@ -115,7 +115,7 @@ def _draw_grids(side: int, batch: int, input_kind: str, rng) -> np.ndarray:
         return random_permutation_grid(side, batch=batch, rng=rng)
     if input_kind == "zero_one":
         return random_zero_one_grid(side, batch=batch, rng=rng)
-    raise ValueError(f"unknown input_kind {input_kind!r}")
+    raise DimensionError(f"unknown input_kind {input_kind!r}")
 
 
 def _sort_steps_values(

@@ -20,7 +20,6 @@ Both paths return the same :class:`~repro.campaign.result.SampleResult`.
 
 from __future__ import annotations
 
-import time
 from pathlib import Path
 from typing import Any, Callable
 
@@ -32,6 +31,7 @@ from repro.core.schedule import Schedule
 from repro.errors import DimensionError
 from repro.experiments.montecarlo import _sort_steps_values, _statistic_values
 from repro.obs.events import Observer
+from repro.obs.timing import StopWatch
 from repro.randomness import seed_provenance
 
 __all__ = ["sample"]
@@ -145,7 +145,7 @@ def sample(
 
     # In-process path: the historical single-stream draw, bit-identical to
     # the deprecated sample_* functions for the same arguments.
-    clock = time.perf_counter()
+    watch = StopWatch().start()
     if kind == "sort_steps":
         values = _sort_steps_values(
             algorithm,
@@ -171,7 +171,7 @@ def sample(
             observer=observer,
             backend=backend,
         )
-    elapsed = time.perf_counter() - clock
+    elapsed = watch.elapsed
     meta: dict[str, Any] = {
         "mode": "in-process",
         "algorithm": resolve_algorithm(algorithm).name,

@@ -13,6 +13,8 @@ from fractions import Fraction
 from pathlib import Path
 from typing import Any
 
+from repro.errors import DimensionError
+
 __all__ = ["Table", "format_cell"]
 
 
@@ -38,7 +40,7 @@ class Table:
 
     def add_row(self, *cells: Any) -> None:
         if len(cells) != len(self.headers):
-            raise ValueError(
+            raise DimensionError(
                 f"row has {len(cells)} cells but table has {len(self.headers)} headers"
             )
         self.rows.append(list(cells))

@@ -29,19 +29,31 @@ def format_seconds(seconds: float) -> str:
 
 
 class StopWatch:
-    """Context-manager stopwatch; ``elapsed`` is valid during and after."""
+    """Stopwatch usable as a context manager or via explicit :meth:`start`;
+    ``elapsed`` is valid during and after either form."""
 
     def __init__(self) -> None:
         self._start: float | None = None
         self._elapsed = 0.0
 
-    def __enter__(self) -> "StopWatch":
+    def start(self) -> "StopWatch":
+        """Begin (or restart) timing and return ``self`` for chaining:
+        ``watch = StopWatch().start()``."""
         self._start = time.perf_counter()
         return self
 
+    def stop(self) -> float:
+        """Freeze and return the elapsed time (no-op if never started)."""
+        if self._start is not None:
+            self._elapsed = time.perf_counter() - self._start
+            self._start = None
+        return self._elapsed
+
+    def __enter__(self) -> "StopWatch":
+        return self.start()
+
     def __exit__(self, *exc_info) -> None:
-        self._elapsed = time.perf_counter() - self._start
-        self._start = None
+        self.stop()
 
     @property
     def elapsed(self) -> float:

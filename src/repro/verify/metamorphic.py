@@ -38,6 +38,7 @@ from repro.core.runner import resolve_algorithm
 from repro.core.schedule import LineOp, Schedule
 from repro.errors import DimensionError
 from repro.obs.context import no_observer
+from repro.randomness import as_generator, as_seed_sequence
 from repro.obs.events import Observer, RunEnd, RunStart, StepEvent
 from repro.zeroone.invariants import (
     check_lemma1_column_sort,
@@ -145,7 +146,7 @@ def check_threshold_consistency(
 
 def monotone_relabelings(n_cells: int, *, seed: int = 0) -> list[tuple[str, Callable]]:
     """Named strictly increasing value maps used by the relabeling check."""
-    rng = np.random.default_rng(np.random.SeedSequence((seed, n_cells, 97)))
+    rng = as_generator(as_seed_sequence((seed, n_cells, 97)))
     table = np.sort(rng.choice(10 * n_cells, size=n_cells, replace=False))
 
     def affine(values: np.ndarray) -> np.ndarray:

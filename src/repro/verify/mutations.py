@@ -20,7 +20,7 @@ from dataclasses import replace
 from repro.core.schedule import LineOp, Schedule, Step
 from repro.errors import DimensionError
 
-__all__ = ["MUTATIONS", "mutate_schedule", "all_mutants"]
+__all__ = ["MUTATIONS", "mutate_schedule", "all_mutants", "classify_mutants"]
 
 
 def _drop_op(schedule: Schedule, step_index: int) -> Schedule:
@@ -106,3 +106,29 @@ def all_mutants(schedule: Schedule) -> list[tuple[str, Schedule]]:
                 continue
             mutants.append((f"{name}@{index + 1}", mutant))
     return mutants
+
+
+def classify_mutants(
+    schedule: Schedule, rows: int, cols: int | None = None
+) -> list[tuple[str, Schedule, str]]:
+    """Triage every mutant of ``schedule`` with the static verifier.
+
+    Returns ``(label, mutant, kind)`` triples where ``kind`` is
+
+    * ``"static"`` — the mutant violates the schedule shape rules of
+      :mod:`repro.analysis.schedule_check` and is caught *without executing
+      a single comparator* (dropped wraps, flipped directions/offsets);
+    * ``"semantic"`` — the mutant is a perfectly well-formed schedule that
+      merely sorts wrong (step-order swaps); only the differential and
+      metamorphic suites can catch it.
+
+    The division tells the harness self-test what each layer must prove:
+    the dynamic suites are only *required* for the semantic residue.
+    """
+    from repro.analysis.schedule_check import check_schedule
+
+    out: list[tuple[str, Schedule, str]] = []
+    for label, mutant in all_mutants(schedule):
+        report = check_schedule(mutant, rows, cols)
+        out.append((label, mutant, "static" if report.violations else "semantic"))
+    return out

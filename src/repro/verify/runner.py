@@ -5,6 +5,9 @@
 * **differential** — every deterministic input case from
   :mod:`repro.verify.inputs` through every backend, cell-for-cell
   (:mod:`repro.verify.differential`);
+* **static** — the schedule-shape verifier from
+  :mod:`repro.analysis.schedule_check` on each (algorithm, side) cell,
+  proving the schedule well-formed without executing a comparator;
 * **metamorphic** — 0-1 threshold consistency and relabeling invariance on
   the permutation cases, the live lemma observer on the 0-1 cases
   (:mod:`repro.verify.metamorphic`);
@@ -23,16 +26,17 @@ the given :class:`~repro.obs.metrics.MetricsRegistry`.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
+from repro.analysis.schedule_check import check_schedule
 from repro.backends import available_backends
 from repro.core.algorithms import ALGORITHM_NAMES, get_algorithm
 from repro.errors import DimensionError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timing import StopWatch
 from repro.randomness import paper_zero_count
 from repro.verify.corpus import Reproducer, load_corpus, replay_reproducer, save_reproducer
 from repro.verify.differential import differential_run
@@ -295,7 +299,7 @@ def run_verify(
     report = VerifyReport(
         budget=config.budget, algorithms=tuple(config.algorithms), backends=backends
     )
-    start = time.perf_counter()
+    watch = StopWatch().start()
 
     with metrics.seconds.time():
         for name in config.algorithms:
@@ -327,7 +331,7 @@ def run_verify(
                     ),
                 )
 
-    report.elapsed_seconds = time.perf_counter() - start
+    report.elapsed_seconds = watch.stop()
     return report
 
 
@@ -344,6 +348,22 @@ def _verify_cell(
     backends = config.resolved_backends
     budget = BUDGETS[config.budget]
     n_cells = side * side
+
+    # Static: the schedule-shape verifier, before any comparator runs.
+    # A clean report also certifies obliviousness, which is what licenses
+    # the 0-1-principle-based metamorphic checks below.
+    static = check_schedule(schedule, side)
+    _record(
+        report,
+        metrics,
+        CheckRecord(
+            prop="static_schedule",
+            algorithm=name,
+            side=side,
+            case="schedule",
+            violations=[f"{v.rule}[{v.severity}]: {v.message}" for v in static.violations],
+        ),
+    )
 
     # Differential: every case through every backend.
     for case in cases:

@@ -11,7 +11,6 @@ holding the minimum.  :func:`run_diagnostics` produces the trace;
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,6 +24,7 @@ from repro.core.schedule import Schedule
 from repro.errors import DimensionError
 from repro.obs.context import resolve_observer
 from repro.obs.events import Observer
+from repro.obs.timing import StopWatch
 from repro.zeroone.smallest import min_cell
 from repro.zeroone.threshold import threshold_matrix
 from repro.zeroone.trackers import y1_statistic, z1_statistic
@@ -141,7 +141,7 @@ def run_diagnostics(
             max_steps=max_steps,
             order=schedule.order,
         )
-    clock = time.perf_counter()
+    watch = StopWatch().start()
     records.append(snapshot(0))
     t = 0
     while t < max_steps:
@@ -173,7 +173,7 @@ def run_diagnostics(
             obs,
             steps=records[-1].t if records[-1].sorted else -1,
             completed=records[-1].sorted,
-            wall_time=time.perf_counter() - clock,
+            wall_time=watch.elapsed,
         )
     return records
 

@@ -1,0 +1,11 @@
+"""RPR101 near-miss: randomness routed through repro.randomness."""
+
+from repro.randomness import as_generator, as_seed_sequence, spawn_generators
+
+
+def draw(side, seed):
+    # rng.random() has the "random" tail but is a stream read, not a
+    # constructor; as_* are the sanctioned construction path.
+    rng = as_generator(as_seed_sequence((seed, side)))
+    children = spawn_generators(rng, 2)
+    return rng.random(), children

@@ -1,0 +1,17 @@
+"""RPR101 trigger: RNG construction outside repro.randomness.
+
+Parsed (never imported) by tests/analysis/test_lint_rules.py; the path
+puts it in the ``repro.*`` module namespace so src-only rules fire.
+"""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def draw(side):
+    rng = np.random.default_rng(1234)
+    legacy = np.random.RandomState(0)
+    seq = np.random.SeedSequence(7)
+    return rng, legacy, seq, random.random(), default_rng(0)

@@ -1,0 +1,16 @@
+"""RPR102 near-miss: the repro.errors taxonomy, abstract hooks, re-raises."""
+
+from repro.errors import DimensionError
+
+
+def check(value):
+    if value < 0:
+        raise DimensionError(f"negative value {value}")
+    try:
+        return value + 1
+    except OverflowError:
+        raise  # a bare re-raise is not a bare builtin raise
+
+
+def hook():
+    raise NotImplementedError  # abstract hooks are exempt by design

@@ -1,0 +1,9 @@
+"""RPR102 trigger: bare builtin exceptions raised from library code."""
+
+
+def check(value):
+    if value < 0:
+        raise ValueError(f"negative value {value}")
+    if value > 100:
+        raise RuntimeError
+    return value

@@ -1,0 +1,9 @@
+"""RPR103 trigger: observer-event construction outside the driver."""
+
+from repro.obs.events import RunStart, StepEvent
+
+
+def emit_my_own(obs, side):
+    obs.on_run_start(RunStart(executor="rogue", algorithm="snake_1",
+                              side=side, max_steps=1, order="snake"))
+    obs.on_step(StepEvent(t=1))

@@ -1,0 +1,12 @@
+"""RPR104 near-miss: StopWatch for measurement; sleep is not a clock read."""
+
+import time
+
+from repro.obs.timing import StopWatch
+
+
+def measure(fn):
+    watch = StopWatch().start()
+    fn()
+    time.sleep(0)  # scheduling, not timing: allowed
+    return watch.elapsed

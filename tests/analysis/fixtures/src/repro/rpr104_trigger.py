@@ -1,0 +1,10 @@
+"""RPR104 trigger: ad-hoc wall-clock reads outside repro.obs.timing."""
+
+import time
+
+
+def measure(fn):
+    start = time.perf_counter()
+    fn()
+    wall = time.time()
+    return time.perf_counter() - start, wall

@@ -1,0 +1,12 @@
+"""RPR105 near-miss: None-defaults and immutable containers."""
+
+
+def accumulate(value, acc=None):
+    if acc is None:
+        acc = []
+    acc.append(value)
+    return acc
+
+
+def tally(value, *, sides=(4, 6), label=""):
+    return {side: (value, label) for side in sides}

@@ -1,0 +1,17 @@
+"""RPR105 trigger: mutable default arguments."""
+
+
+def accumulate(value, acc=[]):
+    acc.append(value)
+    return acc
+
+
+def tally(value, *, counts={}, labels=set()):
+    counts[value] = counts.get(value, 0) + 1
+    labels.add(value)
+    return counts
+
+
+def build(value, out=list()):
+    out.append(value)
+    return out

@@ -1,0 +1,21 @@
+"""RPR107 near-miss: specific catches, and broad catches that act."""
+
+from repro.errors import AnalysisError, ReproError
+
+
+def load(path):
+    try:
+        return path.read_text()
+    except FileNotFoundError:
+        pass  # a *specific* ignore is an explicit decision
+    try:
+        return path.read_bytes()
+    except Exception as exc:
+        raise AnalysisError(f"unreadable {path}") from exc
+
+
+def probe(fn):
+    try:
+        fn()
+    except ReproError:
+        pass  # library failures are the expected outcome being probed

@@ -1,0 +1,13 @@
+"""RPR107 trigger: silently swallowed broad excepts."""
+
+
+def load(path):
+    try:
+        return path.read_text()
+    except Exception:
+        pass
+    try:
+        return path.read_bytes()
+    except:  # noqa: E722
+        "nothing to see here"
+    return None

@@ -1,0 +1,14 @@
+"""RPR108 near-miss: local generators and unrelated .seed attributes."""
+
+from repro.randomness import as_generator
+
+
+class Spec:
+    def seed(self, value):
+        return value
+
+
+def run(spec: Spec, seed):
+    # spec.seed(...) shares the attribute name but touches no global RNG.
+    rng = as_generator(spec.seed(seed))
+    return rng.random()

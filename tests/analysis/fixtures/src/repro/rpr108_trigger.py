@@ -1,0 +1,10 @@
+"""RPR108 trigger: process-global RNG seeding."""
+
+import numpy as np
+import numpy.random
+
+np.random.seed(0)
+
+
+def reset(seed):
+    numpy.random.seed(seed)

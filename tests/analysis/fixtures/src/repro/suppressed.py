@@ -1,0 +1,12 @@
+"""Suppression-syntax fixture: every violation here is explicitly allowed."""
+# repro: allow-file=RPR104
+
+import time
+
+
+def measure(fn):
+    start = time.perf_counter()  # file-level pragma above silences RPR104
+    fn()
+    if fn is None:
+        raise ValueError("unreachable")  # repro: allow=RPR102
+    return time.time() - start

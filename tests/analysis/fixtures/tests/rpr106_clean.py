@@ -1,0 +1,9 @@
+"""RPR106 near-miss: approx comparisons and integer equality."""
+
+import pytest
+
+
+def test_mean():
+    mean = sum([0.25, 0.75]) / 2
+    assert mean == pytest.approx(0.5)
+    assert round(mean * 2) == 1

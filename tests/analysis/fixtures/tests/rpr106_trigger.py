@@ -1,0 +1,7 @@
+"""RPR106 trigger: float-literal equality in test code."""
+
+
+def test_mean():
+    mean = sum([0.25, 0.75]) / 2
+    assert mean == 0.5
+    assert mean != 0.25 + 0.125

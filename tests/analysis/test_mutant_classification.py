@@ -1,0 +1,116 @@
+"""Acceptance: the static verifier flags every structural mutant, executor-free.
+
+The ISSUE's core property: for all five paper algorithms, every
+``drop-op``/``flip-direction``/``flip-offset`` mutant from
+:func:`repro.verify.mutations.all_mutants` is *statically* detectable —
+without executing a single sort step — while ``swap-steps`` mutants are
+well-formed schedules that merely sort wrong (semantic-only).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.schedule_check import check_schedule
+from repro.core.algorithms import ALGORITHM_NAMES, get_algorithm
+from repro.verify.mutations import all_mutants, classify_mutants
+
+STATIC_FAMILIES = ("drop-op", "flip-direction", "flip-offset")
+
+
+def side_for(name: str) -> int:
+    return 6 if get_algorithm(name).requires_even_side else 5
+
+
+@pytest.mark.parametrize("name", ALGORITHM_NAMES)
+def test_every_structural_mutant_is_statically_detected(name):
+    schedule = get_algorithm(name)
+    triples = classify_mutants(schedule, side_for(name))
+    assert len(triples) == len(all_mutants(schedule))
+    by_family: dict[str, set[str]] = {}
+    for label, _, kind in triples:
+        by_family.setdefault(label.split("@")[0], set()).add(kind)
+    for family in STATIC_FAMILIES:
+        if family in by_family:
+            assert by_family[family] == {"static"}, (name, family, by_family)
+    assert by_family["swap-steps"] == {"semantic"}, (name, by_family)
+
+
+@pytest.mark.parametrize("name", ALGORITHM_NAMES)
+def test_static_detection_holds_at_every_budget_side(name):
+    schedule = get_algorithm(name)
+    sides = (4, 6, 8) if schedule.requires_even_side else (4, 5, 6, 8)
+    for side in sides:
+        for label, mutant, kind in classify_mutants(schedule, side):
+            expected = "semantic" if label.startswith("swap-steps") else "static"
+            assert kind == expected, (name, side, label)
+
+
+@pytest.mark.parametrize("name", ALGORITHM_NAMES)
+def test_genuine_schedule_is_never_misclassified(name):
+    # The classifier must not cry wolf: the unmutated schedule is clean.
+    assert check_schedule(get_algorithm(name), side_for(name)).ok
+
+
+EXECUTOR_PREFIXES = (
+    "repro.backends",
+    "repro.core.engine",
+    "repro.core.reference",
+    "repro.mesh",
+    "repro.rect.engine",
+)
+
+
+def test_analysis_package_never_imports_an_executor():
+    """Static import-graph check: detection is a pure function of the IR.
+
+    ``import repro`` itself loads the facade (executors included), so the
+    meaningful property is that no module *inside* ``repro.analysis``
+    imports one — the verifier would work even if the executors were
+    deleted.
+    """
+    import ast
+    from pathlib import Path
+
+    import repro.analysis
+
+    package_dir = Path(repro.analysis.__file__).parent
+    offenders = []
+    for path in sorted(package_dir.rglob("*.py")):
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            names = []
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                names = [node.module]
+            for name in names:
+                if name.startswith(EXECUTOR_PREFIXES):
+                    offenders.append(f"{path.name}: {name}")
+    assert not offenders, offenders
+
+
+def test_classification_adds_no_executor_imports():
+    """Process-level check: the classifier itself loads no new executor
+    modules beyond what the ``repro`` facade already pulled in."""
+    code = (
+        "import sys, repro\n"
+        "before = {m for m in sys.modules if m.startswith('repro')}\n"
+        "from repro.analysis.schedule_check import check_schedule\n"
+        "from repro.core.algorithms import ALGORITHM_NAMES, get_algorithm\n"
+        "for name in ALGORITHM_NAMES:\n"
+        "    side = 6 if get_algorithm(name).requires_even_side else 5\n"
+        "    assert check_schedule(get_algorithm(name), side).ok\n"
+        f"new = [m for m in sys.modules if m.startswith({EXECUTOR_PREFIXES!r})\n"
+        "       and m not in before]\n"
+        "assert not new, f'classifier loaded executors: {new}'\n"
+        "print('EXECUTOR-FREE')\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True
+    )
+    assert result.returncode == 0, result.stderr
+    assert "EXECUTOR-FREE" in result.stdout

@@ -40,6 +40,6 @@ class TestLowerConstants:
         assert set(_LOWER_CONSTANTS) == set(ALGORITHM_NAMES)
 
     def test_values_match_theorems(self):
-        assert _LOWER_CONSTANTS["row_major_row_first"] == 0.5
-        assert _LOWER_CONSTANTS["row_major_col_first"] == 0.375
-        assert _LOWER_CONSTANTS["snake_3"] == 1.0
+        assert _LOWER_CONSTANTS["row_major_row_first"] == 0.5  # repro: allow=RPR106
+        assert _LOWER_CONSTANTS["row_major_col_first"] == 0.375  # repro: allow=RPR106
+        assert _LOWER_CONSTANTS["snake_3"] == 1.0  # repro: allow=RPR106

@@ -17,15 +17,15 @@ from repro.zeroone.trackers import z1_statistic
 class TestSummarize:
     def test_basic(self):
         stats = summarize(np.array([1.0, 2.0, 3.0]))
-        assert stats.mean == 2.0
+        assert stats.mean == 2.0  # repro: allow=RPR106
         assert stats.count == 3
-        assert stats.minimum == 1.0 and stats.maximum == 3.0
+        assert stats.minimum == 1.0 and stats.maximum == 3.0  # repro: allow=RPR106
         lo, hi = stats.ci95
         assert lo < 2.0 < hi
 
     def test_single_value(self):
         stats = summarize(np.array([5.0]))
-        assert stats.std == 0.0 and stats.sem == 0.0
+        assert stats.std == 0.0 and stats.sem == 0.0  # repro: allow=RPR106
 
     def test_empty_rejected(self):
         with pytest.raises(ValueError):

@@ -32,7 +32,7 @@ class TestInstruments:
         c = reg.counter("repro_x_total", "help text")
         c.inc()
         c.inc(2.5)
-        assert c.value == 3.5
+        assert c.value == 3.5  # repro: allow=RPR106
         with pytest.raises(DimensionError):
             c.inc(-1)
 
@@ -48,8 +48,8 @@ class TestInstruments:
         for v in (0.5, 5, 50, 500):
             h.observe(v)
         assert h.count == 4
-        assert h.sum == 555.5
-        assert h.min == 0.5 and h.max == 500
+        assert h.sum == 555.5  # repro: allow=RPR106
+        assert h.min == 0.5 and h.max == 500  # repro: allow=RPR106
         assert h.cumulative_counts() == [1, 2, 3]
         assert h.overflow == 1
 

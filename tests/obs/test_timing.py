@@ -51,4 +51,4 @@ class TestPhaseTimer:
         timer.record("E-T2", 0.5)
         timer.record("E-C1", 0.25)
         assert reg["repro_phase_seconds"].count == 2
-        assert reg["repro_phase_seconds"].total == 0.75
+        assert reg["repro_phase_seconds"].total == 0.75  # repro: allow=RPR106

@@ -52,6 +52,7 @@ class TestRunVerify:
         assert registry["repro_verify_seconds"].count == 1
         props = {r.prop for r in report.records}
         assert props == {
+            "static_schedule",
             "differential",
             "threshold_consistency",
             "relabeling_invariance",

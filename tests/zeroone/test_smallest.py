@@ -107,8 +107,8 @@ class TestTheorem12:
         assert out.steps_scalar() >= steps_lower_bound_from_rank(m)
 
     def test_tail_bound_values(self):
-        assert theorem12_tail_bound(0.5, 64) == 0.25 + 0.5 / 128
-        assert theorem12_tail_bound(0.0, 64) == 0.0
+        assert theorem12_tail_bound(0.5, 64) == 0.25 + 0.5 / 128  # repro: allow=RPR106
+        assert theorem12_tail_bound(0.0, 64) == 0.0  # repro: allow=RPR106
 
     def test_tail_bound_rejects_negative(self):
         with pytest.raises(DimensionError):
