@@ -52,11 +52,13 @@ class AdHocClock(LintRule):
     """RPR104: wall-clock reads go through :mod:`repro.obs.timing`.
 
     Flags ``time.time()``/``time.perf_counter()``/``time.monotonic()`` (and
-    the ``_ns`` variants) outside :mod:`repro.obs.timing` and
-    :mod:`repro.obs.metrics`.  Use :class:`~repro.obs.timing.StopWatch` or
-    a metrics :class:`~repro.obs.metrics.Timer`: they are mockable in
-    tests, consistent about which clock they read, and feed the
-    ``repro_*_seconds`` instruments.
+    the ``_ns`` variants) outside the clock-owning observability modules —
+    :mod:`repro.obs.timing`, :mod:`repro.obs.metrics`, and the span
+    profiler :mod:`repro.obs.prof`.  Use
+    :class:`~repro.obs.timing.StopWatch`, a metrics
+    :class:`~repro.obs.metrics.Timer`, or a profiler span: they are
+    mockable in tests, consistent about which clock they read, and feed
+    the ``repro_*_seconds`` instruments.
     """
 
     id = "RPR104"
@@ -69,7 +71,7 @@ class AdHocClock(LintRule):
         "time.monotonic",
         "time.monotonic_ns",
     }
-    _ALLOWED_MODULES = {"repro.obs.timing", "repro.obs.metrics"}
+    _ALLOWED_MODULES = {"repro.obs.timing", "repro.obs.metrics", "repro.obs.prof"}
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not ctx.is_src or ctx.module in self._ALLOWED_MODULES:

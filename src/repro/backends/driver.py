@@ -39,6 +39,7 @@ from repro.core.schedule import Schedule
 from repro.errors import StepLimitExceeded
 from repro.obs.context import resolve_observer
 from repro.obs.events import CycleEvent, Observer, RunEnd, RunStart, StepEvent
+from repro.obs.prof import span
 from repro.obs.timing import StopWatch
 
 __all__ = [
@@ -171,27 +172,33 @@ def run_sort(
     the paper's t_f, the step at which "the sorting algorithm is complete".
     """
     be = get_backend(backend)
-    run = be.prepare(schedule, grid)
-    if max_steps is None:
-        max_steps = step_cap(run.rows, run.cols)
-    obs = resolve_observer(observer)
-    want_swaps = be.counts_swaps or (obs is not None and wants_swap_detail(obs))
+    # Spans cost one ContextVar read when no profiler is installed (see
+    # repro.obs.prof) — per run, never per step, so the zero-overhead
+    # guarantee holds at the driver level.
+    with span("run", backend=be.name, algorithm=schedule.name):
+        with span("compile"):
+            run = be.prepare(schedule, grid)
+        if max_steps is None:
+            max_steps = step_cap(run.rows, run.cols)
+        obs = resolve_observer(observer)
+        want_swaps = be.counts_swaps or (obs is not None and wants_swap_detail(obs))
 
-    steps = np.full(run.batch_shape, -1, dtype=np.int64)
-    done = np.asarray(run.done_mask())
-    steps = np.where(done, 0, steps)
+        steps = np.full(run.batch_shape, -1, dtype=np.int64)
+        done = np.asarray(run.done_mask())
+        steps = np.where(done, 0, steps)
 
-    _start_run(be, run, schedule, obs, max_steps)
-    watch = StopWatch().start()
-    t = 0
-    while t < max_steps and not np.all(done):
-        t += 1
-        _step_and_emit(run, t, obs, want_swaps)
-        now = np.asarray(run.done_mask())
-        newly = now & ~done
-        if np.any(newly):
-            steps = np.where(newly, t, steps)
-            done = done | now
+        _start_run(be, run, schedule, obs, max_steps)
+        watch = StopWatch().start()
+        with span("kernel"):
+            t = 0
+            while t < max_steps and not np.all(done):
+                t += 1
+                _step_and_emit(run, t, obs, want_swaps)
+                now = np.asarray(run.done_mask())
+                newly = now & ~done
+                if np.any(newly):
+                    steps = np.where(newly, t, steps)
+                    done = done | now
     if obs is not None:
         emit_run_end(
             obs,
@@ -225,13 +232,16 @@ def run_steps(
 ) -> np.ndarray:
     """Return the grid state after exactly ``num_steps`` schedule steps."""
     be = get_backend(backend)
-    run = be.prepare(schedule, grid)
-    obs = resolve_observer(observer)
-    want_swaps = be.counts_swaps or (obs is not None and wants_swap_detail(obs))
-    _start_run(be, run, schedule, obs, num_steps)
-    watch = StopWatch().start()
-    for t in range(start_t, start_t + num_steps):
-        _step_and_emit(run, t, obs, want_swaps)
+    with span("run", backend=be.name, algorithm=schedule.name):
+        with span("compile"):
+            run = be.prepare(schedule, grid)
+        obs = resolve_observer(observer)
+        want_swaps = be.counts_swaps or (obs is not None and wants_swap_detail(obs))
+        _start_run(be, run, schedule, obs, num_steps)
+        watch = StopWatch().start()
+        with span("kernel"):
+            for t in range(start_t, start_t + num_steps):
+                _step_and_emit(run, t, obs, want_swaps)
     if obs is not None:
         emit_run_end(
             obs, steps=num_steps, completed=None,
@@ -260,7 +270,10 @@ def iter_run(
     exhausted.
     """
     be = get_backend(backend)
-    run = be.prepare(schedule, grid)
+    # No kernel span here: a generator's frame is suspended at every yield,
+    # so an open span would bill the consumer's code to the driver.
+    with span("compile"):
+        run = be.prepare(schedule, grid)
     obs = resolve_observer(observer)
     want_swaps = be.counts_swaps or (obs is not None and wants_swap_detail(obs))
     _start_run(be, run, schedule, obs, num_steps)

@@ -1,0 +1,52 @@
+"""repro.bench — the curated performance suite behind ``repro bench``.
+
+Three layers:
+
+* :mod:`repro.bench.cases` — the :class:`BenchCase` registry: driver step
+  loop, compile cache (miss/hit), campaign scaling (1 vs 2 workers),
+  sort-to-completion for every paper algorithm, and the span-disabled
+  overhead probe;
+* :mod:`repro.bench.runner` — executes cases (warmup + timed repeats + one
+  profiled iteration for the span breakdown) and reads/writes the
+  ``repro-bench`` JSON report with its environment fingerprint;
+* :mod:`repro.bench.compare` — gates a report against a baseline with
+  per-case thresholds (exit 1 on regression or missing case).
+
+Reports are plain JSON so CI can commit a baseline
+(``benchmarks/results/baseline-smoke.json``) and diff against it; see
+docs/OBSERVABILITY.md ("Profiling & benchmarking").
+"""
+
+from repro.bench.cases import BenchCase, build_cases, case_names
+from repro.bench.compare import (
+    CaseComparison,
+    ComparisonReport,
+    compare_reports,
+)
+from repro.bench.runner import (
+    BENCH_SCHEMA_VERSION,
+    default_report_path,
+    environment_fingerprint,
+    load_report,
+    run_case,
+    run_cases,
+    validate_report,
+    write_report,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchCase",
+    "build_cases",
+    "case_names",
+    "run_case",
+    "run_cases",
+    "environment_fingerprint",
+    "validate_report",
+    "load_report",
+    "write_report",
+    "default_report_path",
+    "CaseComparison",
+    "ComparisonReport",
+    "compare_reports",
+]

@@ -1,0 +1,154 @@
+"""``repro bench`` / ``python -m repro.bench`` — the perf-regression CLI.
+
+Typical invocations::
+
+    repro bench --smoke --json-out bench.json
+        Run the smoke suite, print per-case timings, write the report.
+
+    repro bench --compare benchmarks/results/baseline-smoke.json
+        Run the suite, then gate against a committed baseline
+        (exit 1 on any regression or missing case).
+
+    repro bench --compare BASELINE.json --against CURRENT.json
+        Pure file-vs-file comparison — nothing is executed; this is the
+        deterministic half CI uses after uploading the fresh report.
+
+    repro bench --list
+        Show every case in the full suite.
+
+Exit codes follow the repro contract: 0 ok, 1 regressions/failures,
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.cases import build_cases, case_names
+from repro.bench.compare import DEFAULT_THRESHOLD, compare_reports
+from repro.bench.runner import (
+    default_report_path,
+    load_report,
+    run_cases,
+    validate_report,
+    write_report,
+)
+from repro.errors import BenchmarkError
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="run the curated benchmark suite and gate regressions",
+    )
+    suite = parser.add_mutually_exclusive_group()
+    suite.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small suite (default): sorts at side 16 only",
+    )
+    suite.add_argument(
+        "--full",
+        action="store_true",
+        help="full suite: per-algorithm sorts at sides 16/32/64",
+    )
+    parser.add_argument(
+        "--cases",
+        metavar="NAME[,NAME...]",
+        help="run only these cases (comma-separated; see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list case names and exit"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        metavar="N",
+        help="override every case's timed-iteration count",
+    )
+    parser.add_argument(
+        "--json-out",
+        metavar="PATH",
+        help="write the report here (default: BENCH_<timestamp>.json)",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="BASELINE.json",
+        help="gate against this baseline report (exit 1 on regression)",
+    )
+    parser.add_argument(
+        "--against",
+        metavar="CURRENT.json",
+        help="with --compare: read the current report from a file "
+        "instead of running the suite",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        metavar="X",
+        help="default slowdown factor treated as a regression for baseline "
+        f"cases without their own (default: {DEFAULT_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-case progress lines"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _run(args)
+    except BenchmarkError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run(args: argparse.Namespace) -> int:
+    suite = "full" if args.full else "smoke"
+    if args.list:
+        for name in case_names(suite if (args.full or args.smoke) else "full"):
+            print(name)
+        return 0
+    if args.against and not args.compare:
+        raise BenchmarkError("--against requires --compare BASELINE.json")
+    if args.against:
+        current = load_report(args.against)
+    else:
+        cases = build_cases(suite)
+        if args.cases:
+            wanted = [name.strip() for name in args.cases.split(",") if name.strip()]
+            by_name = {case.name: case for case in cases}
+            unknown = [name for name in wanted if name not in by_name]
+            if unknown:
+                raise BenchmarkError(
+                    f"unknown case(s) {', '.join(map(repr, unknown))}; "
+                    "see 'repro bench --list'"
+                )
+            cases = [by_name[name] for name in wanted]
+        progress = None if args.quiet else lambda line: print(line)
+        current = run_cases(
+            cases, suite=suite, repeats=args.repeats, progress=progress
+        )
+        validate_report(current, source="fresh report")
+        out_path = args.json_out or default_report_path()
+        write_report(current, out_path)
+        if not args.quiet:
+            print(f"report written to {out_path}")
+    if not args.compare:
+        return 0
+    baseline = load_report(args.compare)
+    report = compare_reports(
+        current, baseline, default_threshold=args.threshold
+    )
+    print(report.render())
+    return report.exit_code()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

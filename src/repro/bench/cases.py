@@ -1,0 +1,244 @@
+"""The curated benchmark suite: what ``repro bench`` measures.
+
+Each :class:`BenchCase` names one operation worth tracking over time:
+
+* ``driver_steps_*`` — the hot step loop (``run_steps``) at small and
+  medium sides;
+* ``compile_cache_*`` — schedule compilation, cold (cache cleared every
+  iteration) and warm (pure cache hit);
+* ``campaign_workers*`` — the sharded Monte-Carlo engine, serial and with
+  a 2-process pool, through the public :func:`repro.experiments.sample`
+  facade;
+* ``sort_<algorithm>_side<S>`` — sort-to-completion for every one of the
+  paper's five algorithms (side 16 in the smoke suite; 16/32/64 in the
+  full suite);
+* ``span_overhead_disabled`` — the module-level :func:`repro.obs.prof.span`
+  fast path with **no** profiler installed, pinning the package's
+  zero-overhead-when-disabled guarantee to a number.
+
+A case separates ``setup`` (untimed: build grids, warm caches) from
+``body`` (timed: one iteration over the prepared state), so the reported
+wall times measure the operation, not its scaffolding.  Inputs are drawn
+from fixed seeds — every process benches identical work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import BenchmarkError
+
+__all__ = ["BenchCase", "build_cases", "case_names"]
+
+SUITES = ("smoke", "full")
+
+_SEED = 20260808  # fixed: identical inputs on every bench run
+_STEPS = 64  # driver-loop iterations per timed body
+_TRIALS = 48  # campaign trials per timed body
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One benchmarked operation.
+
+    ``setup()`` runs once per case, untimed, and returns the state the
+    timed ``body(state)`` consumes.  ``repeats`` is the case's default
+    timed-iteration count (the CLI can override it globally).
+    """
+
+    name: str
+    group: str
+    setup: Callable[[], Any]
+    body: Callable[[Any], Any]
+    repeats: int = 5
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Case bodies.  Module-level (not closures over heavy state) so the setup /
+# body split stays explicit; each setup returns exactly what its body needs.
+# ---------------------------------------------------------------------------
+
+
+def _grid(side: int, *, seed: int = _SEED):
+    from repro.randomness import random_permutation_grid
+
+    return random_permutation_grid(side, rng=seed)
+
+
+def _setup_driver(side: int) -> Callable[[], Any]:
+    def setup():
+        from repro.backends import get_backend
+        from repro.backends.compile import compiled_schedule
+        from repro.core.runner import resolve_algorithm
+
+        schedule = resolve_algorithm("snake_1")
+        compiled_schedule(schedule, side)  # warm the cache: time the loop
+        return get_backend("vectorized"), schedule, _grid(side)
+
+    return setup
+
+
+def _body_driver(state) -> Any:
+    from repro.backends import run_steps
+
+    backend, schedule, grid = state
+    return run_steps(backend, schedule, grid, _STEPS)
+
+
+def _setup_compile() -> Any:
+    from repro.core.runner import resolve_algorithm
+
+    return [resolve_algorithm(name) for name in _algorithm_names()]
+
+
+def _body_compile_miss(schedules) -> Any:
+    from repro.backends.compile import compiled_schedule, schedule_cache_clear
+
+    schedule_cache_clear()
+    for schedule in schedules:
+        compiled_schedule(schedule, 32)
+
+
+def _body_compile_hit(schedules) -> Any:
+    from repro.backends.compile import compiled_schedule
+
+    for schedule in schedules:
+        compiled_schedule(schedule, 32)
+
+
+def _setup_campaign(workers: int) -> Callable[[], Any]:
+    def setup():
+        return {
+            "algorithm": "snake_1",
+            "side": 8,
+            "trials": _TRIALS,
+            "seed": _SEED,
+            "shard_size": 12,
+            "workers": workers,
+        }
+
+    return setup
+
+
+def _body_campaign(kwargs) -> Any:
+    from repro.experiments import sample
+
+    kwargs = dict(kwargs)
+    return sample(kwargs.pop("algorithm"), **kwargs)
+
+
+def _setup_sort(algorithm: str, side: int) -> Callable[[], Any]:
+    def setup():
+        from repro.core.runner import resolve_algorithm
+
+        return resolve_algorithm(algorithm), _grid(side)
+
+    return setup
+
+
+def _body_sort(state) -> Any:
+    from repro.backends import run_sort
+
+    schedule, grid = state
+    return run_sort("vectorized", schedule, grid)
+
+
+def _setup_noop() -> Any:
+    return None
+
+
+def _body_span_disabled(_state) -> Any:
+    from repro.obs.prof import span
+
+    for _ in range(10_000):
+        with span("bench_disabled"):
+            pass
+
+
+def _algorithm_names() -> tuple[str, ...]:
+    from repro.core.algorithms import ALGORITHM_NAMES
+
+    return ALGORITHM_NAMES
+
+
+# ---------------------------------------------------------------------------
+# Registry.
+# ---------------------------------------------------------------------------
+
+
+def build_cases(suite: str = "smoke") -> list[BenchCase]:
+    """The case list for ``suite`` (``"smoke"`` or ``"full"``)."""
+    if suite not in SUITES:
+        raise BenchmarkError(f"suite must be one of {SUITES}, got {suite!r}")
+    cases: list[BenchCase] = []
+    for side in (16, 32):
+        cases.append(
+            BenchCase(
+                name=f"driver_steps_side{side}",
+                group="driver",
+                setup=_setup_driver(side),
+                body=_body_driver,
+                meta={"side": side, "num_steps": _STEPS, "algorithm": "snake_1"},
+            )
+        )
+    cases.append(
+        BenchCase(
+            name="compile_cache_miss",
+            group="compile",
+            setup=_setup_compile,
+            body=_body_compile_miss,
+            meta={"side": 32, "schedules": len(_algorithm_names())},
+        )
+    )
+    cases.append(
+        BenchCase(
+            name="compile_cache_hit",
+            group="compile",
+            setup=_setup_compile,
+            body=_body_compile_hit,
+            repeats=10,
+            meta={"side": 32, "schedules": len(_algorithm_names())},
+        )
+    )
+    for workers in (1, 2):
+        cases.append(
+            BenchCase(
+                name=f"campaign_workers{workers}",
+                group="campaign",
+                setup=_setup_campaign(workers),
+                body=_body_campaign,
+                repeats=3,
+                meta={"workers": workers, "trials": _TRIALS, "side": 8},
+            )
+        )
+    sides = (16,) if suite == "smoke" else (16, 32, 64)
+    for algorithm in _algorithm_names():
+        for side in sides:
+            cases.append(
+                BenchCase(
+                    name=f"sort_{algorithm}_side{side}",
+                    group="sort",
+                    setup=_setup_sort(algorithm, side),
+                    body=_body_sort,
+                    repeats=3,
+                    meta={"algorithm": algorithm, "side": side},
+                )
+            )
+    cases.append(
+        BenchCase(
+            name="span_overhead_disabled",
+            group="overhead",
+            setup=_setup_noop,
+            body=_body_span_disabled,
+            repeats=10,
+            meta={"spans_per_iteration": 10_000},
+        )
+    )
+    return cases
+
+
+def case_names(suite: str = "full") -> list[str]:
+    """Every case name in ``suite`` (for ``repro bench --list``)."""
+    return [case.name for case in build_cases(suite)]

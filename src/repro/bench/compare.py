@@ -1,0 +1,163 @@
+"""Regression gating: compare a bench report against a baseline.
+
+The comparison walks the union of case names and classifies each:
+
+* ``ok`` — current min wall time within the case's threshold;
+* ``regression`` — current ``wall.min`` exceeds ``threshold x`` the
+  baseline's (``min`` is the standard low-noise statistic: the fastest
+  observed run is the least contaminated by scheduler jitter);
+* ``improvement`` — at least 20 % faster than baseline (informational);
+* ``missing`` — in the baseline but not the current report (a silently
+  dropped case would otherwise hide a regression forever);
+* ``new`` — in the current report only (informational).
+
+Thresholds are *per case*: a baseline entry may carry ``"threshold": 2.0``
+(committed CI baselines use generous ones, since shared runners are
+noisy); cases without one use the comparison's default.  ``regression``
+and ``missing`` gate — :func:`exit_code` maps them to 1 per the repro CLI
+exit-code contract (0 ok / 1 findings / 2 usage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import BenchmarkError
+
+__all__ = ["CaseComparison", "ComparisonReport", "compare_reports"]
+
+DEFAULT_THRESHOLD = 1.5
+_IMPROVEMENT_RATIO = 0.8
+
+_GATING = ("regression", "missing")
+
+
+@dataclass(frozen=True)
+class CaseComparison:
+    """One case's verdict: status plus the numbers behind it."""
+
+    name: str
+    status: str
+    current: float | None = None
+    baseline: float | None = None
+    threshold: float | None = None
+
+    @property
+    def ratio(self) -> float | None:
+        if self.current is None or not self.baseline:
+            return None
+        return self.current / self.baseline
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Every case verdict plus the roll-up the CLI prints and gates on."""
+
+    cases: list[CaseComparison]
+    env_matches: bool
+
+    @property
+    def regressions(self) -> list[CaseComparison]:
+        return [c for c in self.cases if c.status in _GATING]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def render(self) -> str:
+        lines = []
+        width = max((len(c.name) for c in self.cases), default=4)
+        for comp in self.cases:
+            ratio = comp.ratio
+            detail = ""
+            if comp.current is not None and comp.baseline is not None:
+                detail = (
+                    f"{comp.current:.4f}s vs {comp.baseline:.4f}s"
+                    f" ({ratio:.2f}x, threshold {comp.threshold:.2f}x)"
+                )
+            lines.append(f"{comp.name:<{width}s}  {comp.status:<11s} {detail}".rstrip())
+        verdict = (
+            "OK: no regressions"
+            if self.ok
+            else f"REGRESSIONS: {len(self.regressions)} case(s) failed the gate"
+        )
+        if not self.env_matches:
+            verdict += " [note: environment fingerprints differ]"
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def _case_minimum(entry: dict[str, Any], name: str, source: str) -> float:
+    try:
+        return float(entry["wall"]["min"])
+    except (KeyError, TypeError, ValueError):
+        raise BenchmarkError(
+            f"{source}: case {name!r} has no usable wall.min"
+        ) from None
+
+
+def compare_reports(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    *,
+    default_threshold: float = DEFAULT_THRESHOLD,
+) -> ComparisonReport:
+    """Classify every case of ``current`` against ``baseline``.
+
+    Both documents must already be schema-valid
+    (:func:`repro.bench.runner.validate_report`).  ``default_threshold``
+    applies to baseline cases that do not carry their own ``"threshold"``.
+    """
+    if default_threshold <= 0:
+        raise BenchmarkError(
+            f"threshold must be positive, got {default_threshold}"
+        )
+    cur_cases: dict[str, Any] = current["cases"]
+    base_cases: dict[str, Any] = baseline["cases"]
+    comparisons: list[CaseComparison] = []
+    for name in sorted(base_cases.keys() | cur_cases.keys()):
+        base = base_cases.get(name)
+        cur = cur_cases.get(name)
+        if base is None:
+            comparisons.append(
+                CaseComparison(
+                    name=name,
+                    status="new",
+                    current=_case_minimum(cur, name, "current"),
+                )
+            )
+            continue
+        base_min = _case_minimum(base, name, "baseline")
+        threshold = float(base.get("threshold", default_threshold))
+        if cur is None:
+            comparisons.append(
+                CaseComparison(
+                    name=name,
+                    status="missing",
+                    baseline=base_min,
+                    threshold=threshold,
+                )
+            )
+            continue
+        cur_min = _case_minimum(cur, name, "current")
+        if base_min > 0 and cur_min > threshold * base_min:
+            status = "regression"
+        elif base_min > 0 and cur_min < _IMPROVEMENT_RATIO * base_min:
+            status = "improvement"
+        else:
+            status = "ok"
+        comparisons.append(
+            CaseComparison(
+                name=name,
+                status=status,
+                current=cur_min,
+                baseline=base_min,
+                threshold=threshold,
+            )
+        )
+    env_matches = current.get("env") == baseline.get("env")
+    return ComparisonReport(cases=comparisons, env_matches=env_matches)

@@ -19,19 +19,26 @@ building specs by hand; this package is the engine underneath it.
 from repro.campaign.checkpoint import (
     CHECKPOINT_SCHEMA_VERSION,
     CheckpointStore,
+    ShardRecord,
     checkpoint_path,
 )
 from repro.campaign.result import SampleResult
-from repro.campaign.runner import execute_shard, run_campaign
+from repro.campaign.runner import (
+    execute_shard,
+    execute_shard_observed,
+    run_campaign,
+)
 from repro.campaign.spec import KINDS, CampaignSpec, Shard
 
 __all__ = [
     "KINDS",
     "CampaignSpec",
     "Shard",
+    "ShardRecord",
     "SampleResult",
     "run_campaign",
     "execute_shard",
+    "execute_shard_observed",
     "CheckpointStore",
     "checkpoint_path",
     "CHECKPOINT_SCHEMA_VERSION",

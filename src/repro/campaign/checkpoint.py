@@ -21,6 +21,11 @@ Design notes:
   statistic values are JSON floats serialized via ``repr``, which
   round-trips IEEE-754 doubles exactly — so a resumed campaign's merged
   sample is bit-identical to an uninterrupted run's.
+* **Optional observability payload.**  Campaigns running with an observer
+  or profiler attached also record each shard's worker-side metrics
+  snapshot and span tree (``metrics``/``spans`` fields); readers ignore
+  unknown fields, so such checkpoints stay loadable everywhere and the
+  values round trip is untouched.
 * **Identity-checked.**  Loading refuses (``CheckpointError``) a file whose
   header fingerprint differs from the spec being resumed: those shards
   were sampled from a different campaign and must never be merged.
@@ -29,6 +34,7 @@ Design notes:
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, Any
 
@@ -37,7 +43,12 @@ import numpy as np
 from repro.campaign.spec import CampaignSpec
 from repro.errors import CheckpointError
 
-__all__ = ["CHECKPOINT_SCHEMA_VERSION", "CheckpointStore", "checkpoint_path"]
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointStore",
+    "ShardRecord",
+    "checkpoint_path",
+]
 
 CHECKPOINT_SCHEMA_VERSION = 1
 _FORMAT = "repro-campaign-checkpoint"
@@ -46,6 +57,23 @@ _FORMAT = "repro-campaign-checkpoint"
 def checkpoint_path(checkpoint_dir: str | Path, spec: CampaignSpec) -> Path:
     """The checkpoint file a campaign with ``spec`` reads and writes."""
     return Path(checkpoint_dir) / f"campaign-{spec.fingerprint}.jsonl"
+
+
+@dataclass(frozen=True)
+class ShardRecord:
+    """One checkpointed shard: its values plus optional observability payload.
+
+    ``metrics``/``spans`` are the worker-side registry snapshot and span
+    tree recorded when the campaign ran with collection on (an observer or
+    profiler attached); they are ``None`` for checkpoints written without
+    it.  Restoring them lets a resumed campaign's merged metrics and span
+    tree still cover the shards it did not recompute.
+    """
+
+    values: np.ndarray
+    elapsed: float = 0.0
+    metrics: dict[str, Any] | None = None
+    spans: dict[str, Any] | None = None
 
 
 class CheckpointStore:
@@ -77,10 +105,17 @@ class CheckpointStore:
         :class:`CheckpointError` on a fingerprint mismatch or an unusable
         header; silently skips a torn (truncated) trailing line.
         """
+        return {
+            index: record.values for index, record in self.load_records().items()
+        }
+
+    def load_records(self) -> dict[int, ShardRecord]:
+        """Like :meth:`load`, but keeps each shard's full :class:`ShardRecord`
+        (elapsed time plus any checkpointed metrics/span payloads)."""
         if not self.path.exists():
             return {}
         dtype = np.dtype(self.spec.values_dtype)
-        completed: dict[int, np.ndarray] = {}
+        completed: dict[int, ShardRecord] = {}
         with self.path.open("r", encoding="utf-8") as fh:
             lines = fh.read().splitlines()
         if not lines:
@@ -115,7 +150,12 @@ class CheckpointStore:
                 )
             # Duplicate shard lines can only hold identical values (the
             # plan is deterministic), so last-write-wins is safe.
-            completed[index] = values
+            completed[index] = ShardRecord(
+                values=values,
+                elapsed=float(record.get("elapsed", 0.0)),
+                metrics=record.get("metrics"),
+                spans=record.get("spans"),
+            )
         return completed
 
     def _parse_header(self, line: str) -> dict[str, Any]:
@@ -156,18 +196,34 @@ class CheckpointStore:
             }
             self._write_line(header)
 
-    def append(self, index: int, values: np.ndarray, elapsed: float) -> None:
-        """Record one completed shard (flushed immediately)."""
+    def append(
+        self,
+        index: int,
+        values: np.ndarray,
+        elapsed: float,
+        *,
+        metrics: dict[str, Any] | None = None,
+        spans: dict[str, Any] | None = None,
+    ) -> None:
+        """Record one completed shard (flushed immediately).
+
+        ``metrics``/``spans`` attach the shard's worker-side observability
+        snapshot when the campaign collected one; readers that predate
+        these fields ignore them (the values round trip is unchanged).
+        """
         if self._fh is None:
             raise CheckpointError("checkpoint store is not open for writing")
-        self._write_line(
-            {
-                "shard": int(index),
-                "trials": int(np.asarray(values).size),
-                "values": np.asarray(values).tolist(),
-                "elapsed": round(float(elapsed), 6),
-            }
-        )
+        record: dict[str, Any] = {
+            "shard": int(index),
+            "trials": int(np.asarray(values).size),
+            "values": np.asarray(values).tolist(),
+            "elapsed": round(float(elapsed), 6),
+        }
+        if metrics is not None:
+            record["metrics"] = metrics
+        if spans is not None:
+            record["spans"] = spans
+        self._write_line(record)
 
     def _write_line(self, record: dict[str, Any]) -> None:
         assert self._fh is not None

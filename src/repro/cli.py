@@ -42,11 +42,18 @@ def _run_analyze(argv: list[str]) -> int:
     return main(argv)
 
 
+def _run_bench(argv: list[str]) -> int:
+    from repro.bench.__main__ import main
+
+    return main(argv)
+
+
 _SUBCOMMANDS: dict[str, tuple[Callable[[list[str]], int], str]] = {
     "experiments": (_run_experiments, "run paper experiments (alias: exp)"),
     "exp": (_run_experiments, "alias for 'experiments'"),
     "verify": (_run_verify, "differential + metamorphic backend verification"),
     "analyze": (_run_analyze, "static analysis: domain lint + schedule verifier"),
+    "bench": (_run_bench, "curated benchmark suite + regression gating"),
 }
 
 

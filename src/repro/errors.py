@@ -17,6 +17,7 @@ __all__ = [
     "CampaignError",
     "CheckpointError",
     "AnalysisError",
+    "BenchmarkError",
 ]
 
 
@@ -102,6 +103,17 @@ class AnalysisError(ReproError, ValueError):
     Raised by :mod:`repro.analysis` for problems with the analysis request
     itself — *findings* in the analyzed code are reported in the returned
     reports, never raised.
+    """
+
+
+class BenchmarkError(ReproError, ValueError):
+    """A benchmark request or report is unusable.
+
+    Raised by :mod:`repro.bench` for an unknown case name, a report file
+    that is not a ``repro-bench`` document, or a baseline whose schema
+    version this code does not understand.  Performance *regressions* are
+    findings reported through the comparison result (exit code 1), never
+    raised.
     """
 
 

@@ -134,6 +134,14 @@ def main(argv: list[str] | None = None) -> int:
             print(error, file=sys.stderr)
             return 2
 
+    if args.metrics_out:
+        # Fail fast like --csv/--trace: an unwritable destination should
+        # surface before hours of experiments, not after them.
+        error = _ensure_writable_dir(Path(args.metrics_out).parent, "--metrics-out")
+        if error:
+            print(error, file=sys.stderr)
+            return 2
+
     registry = MetricsRegistry()
     persistent_observers = []
     if args.metrics_out:

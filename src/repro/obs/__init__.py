@@ -8,8 +8,11 @@ engine, reference oracle, mesh machine) and the Monte-Carlo harness:
 * :mod:`repro.obs.context` — ambient observer installation
   (:func:`use_observer`) so deep call stacks need no plumbing;
 * :mod:`repro.obs.metrics` — counters/gauges/histograms/timers with JSON
-  and Prometheus-text exporters;
-* :mod:`repro.obs.trace` — JSONL trace sinks with grid digests;
+  and Prometheus-text exporters, mergeable across processes;
+* :mod:`repro.obs.prof` — hierarchical span profiler (``span("compile")``
+  ... ``span("checkpoint")``) with cross-process tree grafting;
+* :mod:`repro.obs.trace` — JSONL (optionally gzipped) trace sinks with
+  grid digests;
 * :mod:`repro.obs.manifest` — replayable run manifests;
 * :mod:`repro.obs.timing` — stopwatch/phase-timer helpers for the CLI;
 * :mod:`repro.obs.progress` — throttled progress printing.
@@ -55,6 +58,16 @@ from repro.obs.metrics import (
     Timer,
     record_link_stats,
 )
+from repro.obs.prof import (
+    Span,
+    SpanProfiler,
+    aggregate_spans,
+    current_profiler,
+    render_spans,
+    span,
+    span_from_dict,
+    use_profiler,
+)
 from repro.obs.progress import ProgressPrinter
 from repro.obs.timing import PhaseTimer, StopWatch, format_seconds
 from repro.obs.trace import (
@@ -94,6 +107,15 @@ __all__ = [
     "StopWatch",
     "PhaseTimer",
     "format_seconds",
+    # prof
+    "Span",
+    "SpanProfiler",
+    "span",
+    "use_profiler",
+    "current_profiler",
+    "span_from_dict",
+    "aggregate_spans",
+    "render_spans",
     # trace
     "JsonlTraceSink",
     "grid_digest",

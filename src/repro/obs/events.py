@@ -157,6 +157,15 @@ class ShardEnd:
     ``attempts`` is 1 for a first-try success and grows with per-shard
     retries after worker failures; ``from_checkpoint`` marks shards whose
     values were restored rather than recomputed (their ``elapsed`` is 0).
+
+    ``metrics``/``spans`` carry the worker-side observability snapshot
+    when the coordinator requested collection (an observer or profiler was
+    attached): ``metrics`` is the worker registry's
+    :meth:`~repro.obs.metrics.MetricsRegistry.as_dict` form (merged by
+    :class:`~repro.obs.metrics.MetricsObserver`), ``spans`` the shard's
+    serialized :class:`~repro.obs.prof.Span` tree.  Both are ``None`` for
+    unobserved campaigns and for shards restored from checkpoints that
+    were written without collection.
     """
 
     campaign: str
@@ -165,6 +174,8 @@ class ShardEnd:
     elapsed: float = 0.0
     attempts: int = 1
     from_checkpoint: bool = False
+    metrics: dict[str, Any] | None = None
+    spans: dict[str, Any] | None = None
 
 
 @dataclass(frozen=True)

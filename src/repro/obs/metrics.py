@@ -256,6 +256,48 @@ class MetricsRegistry:
     def as_dict(self) -> dict[str, Any]:
         return {name: self._metrics[name].as_dict() for name in self.names()}
 
+    def merge(self, other: "MetricsRegistry | dict[str, Any]") -> None:
+        """Fold another registry (or an :meth:`as_dict` snapshot) into this one.
+
+        This is the cross-process aggregation primitive: campaign shard
+        workers snapshot their registry with :meth:`as_dict`, ship it over
+        the result/checkpoint channel, and the coordinator merges every
+        snapshot here so exporters finally see worker-side activity.
+
+        Merge semantics per instrument kind:
+
+        * **counter** — values add;
+        * **gauge** — last write wins (the incoming value replaces ours);
+        * **histogram / timer** — per-bucket counts, total count, and sum
+          add; min/max combine; bucket layouts must match exactly
+          (:class:`DimensionError` otherwise).
+
+        Instruments we have not registered yet are created from the
+        snapshot (same kind, help text, and bucket layout).
+        """
+        snapshot = other.as_dict() if isinstance(other, MetricsRegistry) else other
+        for name in sorted(snapshot):
+            data = snapshot[name]
+            kind = data.get("kind")
+            help_text = data.get("help", "")
+            if kind == "counter":
+                self.counter(name, help_text).inc(float(data["value"]))
+            elif kind == "gauge":
+                self.gauge(name, help_text).set(float(data["value"]))
+            elif kind in ("histogram", "timer"):
+                incoming_buckets = tuple(
+                    float(b) for b in sorted(data["buckets"], key=float)
+                )
+                if kind == "timer":
+                    mine = self.timer(name, help_text).histogram
+                else:
+                    mine = self.histogram(name, help_text, buckets=incoming_buckets)
+                _merge_histogram_snapshot(name, mine, data, incoming_buckets)
+            else:
+                raise DimensionError(
+                    f"cannot merge metric {name!r} of unknown kind {kind!r}"
+                )
+
     def to_json(self, path: str | Path | None = None, *, indent: int = 2) -> str:
         """Serialize the registry; also write it to ``path`` when given."""
         text = json.dumps(self.as_dict(), indent=indent, sort_keys=True)
@@ -290,6 +332,42 @@ def _fmt_value(value: float) -> str:
     return str(int(value)) if float(value).is_integer() else repr(float(value))
 
 
+def _merge_histogram_snapshot(
+    name: str,
+    mine: Histogram,
+    data: dict[str, Any],
+    incoming_buckets: tuple[float, ...],
+) -> None:
+    """Fold one serialized histogram into ``mine`` (shared by timer merge).
+
+    ``as_dict`` publishes *cumulative* per-bound counts and no explicit
+    overflow, so both are reconstructed here: de-cumulate adjacent bounds,
+    and recover overflow as ``count - last_cumulative``.
+    """
+    if mine.buckets != incoming_buckets:
+        raise DimensionError(
+            f"cannot merge metric {name!r}: bucket layout "
+            f"{incoming_buckets} does not match {mine.buckets}"
+        )
+    cumulative = [int(data["buckets"][key]) for key in sorted(data["buckets"], key=float)]
+    previous = 0
+    for idx, value in enumerate(cumulative):
+        mine.bucket_counts[idx] += value - previous
+        previous = value
+    count = int(data["count"])
+    mine.overflow += count - previous
+    mine.count += count
+    mine.sum += float(data["sum"])
+    if data.get("min") is not None:
+        mine.min = (
+            float(data["min"]) if mine.min is None else min(mine.min, float(data["min"]))
+        )
+    if data.get("max") is not None:
+        mine.max = (
+            float(data["max"]) if mine.max is None else max(mine.max, float(data["max"]))
+        )
+
+
 class MetricsObserver(Observer):
     """Tally run/step/swap/wall-time metrics from the event stream.
 
@@ -302,7 +380,10 @@ class MetricsObserver(Observer):
     ``repro_campaign_shards_total`` / ``repro_campaign_shard_retries_total``
     / ``repro_campaign_shards_resumed_total``,
     ``repro_campaign_trials_total``, and the ``repro_shard_seconds`` timer
-    (checkpoint-restored shards are counted but not timed).
+    (checkpoint-restored shards are counted but not timed).  A
+    :class:`~repro.obs.events.ShardEnd` carrying a worker-side registry
+    snapshot is folded in via :meth:`MetricsRegistry.merge`, so run/step
+    counters cover shard activity executed in worker processes too.
 
     Swap tallies on the vectorized backends require diffing the whole grid
     every step, so they are off by default there — run/step counts and
@@ -388,6 +469,10 @@ class MetricsObserver(Observer):
             self._shards_resumed.inc()
         else:
             self._shard_seconds.observe(max(0.0, event.elapsed))
+        if event.metrics is not None:
+            # Worker-side registry snapshot: fold it in so run/step/swap
+            # counters cover shard activity, not just the coordinator's.
+            self.registry.merge(event.metrics)
 
     def on_campaign_end(self, event: CampaignEnd) -> None:
         self._campaign_trials.inc(event.trials)

@@ -5,6 +5,10 @@ starts and one when it ends (with step count and wall time), throttled so
 batched Monte-Carlo sweeps — hundreds of runs per experiment — do not flood
 the terminal: after the first ``verbose_runs`` runs it only reports every
 ``every``-th run plus a final tally via :meth:`summary`.
+
+Campaign shard lines additionally carry a rolling completion rate and an
+ETA (computed from shards actually executed this session — restored
+checkpoint shards are excluded, they replay instantly).
 """
 
 from __future__ import annotations
@@ -22,7 +26,7 @@ from repro.obs.events import (
     RunStart,
     ShardEnd,
 )
-from repro.obs.timing import format_seconds
+from repro.obs.timing import StopWatch, format_seconds
 
 __all__ = ["ProgressPrinter"]
 
@@ -46,6 +50,8 @@ class ProgressPrinter(Observer):
         self.shards_finished = 0
         self._current: RunStart | None = None
         self._campaign_shards = 0
+        self._fresh_shards = 0
+        self._campaign_watch: StopWatch | None = None
 
     def _say(self, message: str) -> None:
         print(f"{self.prefix}{message}", file=self.stream, flush=True)
@@ -78,7 +84,9 @@ class ProgressPrinter(Observer):
 
     def on_campaign_start(self, event: CampaignStart) -> None:
         self.shards_finished = 0
+        self._fresh_shards = 0
         self._campaign_shards = event.num_shards
+        self._campaign_watch = StopWatch().start()
         resumed = (
             f", {event.resumed_shards} from checkpoint"
             if event.resumed_shards
@@ -90,8 +98,28 @@ class ProgressPrinter(Observer):
             f"({event.num_shards} shards x{event.workers} workers{resumed})"
         )
 
+    def _shard_pace(self) -> str:
+        """Rolling rate + ETA over the *fresh* shards of this campaign.
+
+        Checkpoint-restored shards replay instantly and would inflate the
+        rate (and collapse the ETA) if counted, so only shards actually
+        computed this session feed the estimate.
+        """
+        if self._campaign_watch is None or self._fresh_shards == 0:
+            return ""
+        elapsed = self._campaign_watch.elapsed
+        if elapsed <= 0:
+            return ""
+        rate = self._fresh_shards / elapsed
+        remaining = self._campaign_shards - self.shards_finished
+        if remaining <= 0:
+            return f", {rate:.1f} shards/s"
+        return f", {rate:.1f} shards/s, eta {format_seconds(remaining / rate)}"
+
     def on_shard_end(self, event: ShardEnd) -> None:
         self.shards_finished += 1
+        if not event.from_checkpoint:
+            self._fresh_shards += 1
         # Shards are coarse (seconds each), so throttle far less than runs.
         if (
             event.from_checkpoint
@@ -104,7 +132,8 @@ class ProgressPrinter(Observer):
             )
             self._say(
                 f"shard {event.index} done ({event.trials} trials, {source}) "
-                f"[{self.shards_finished}/{self._campaign_shards}]"
+                f"[{self.shards_finished}/{self._campaign_shards}"
+                f"{self._shard_pace()}]"
             )
 
     def on_campaign_end(self, event: CampaignEnd) -> None:

@@ -1,6 +1,7 @@
 """JSONL trace sink: a durable, schema-stable record of executor events.
 
-Each event becomes one JSON object per line.  Grids are never dumped raw
+Each event becomes one JSON object per line (gzip-compressed when the
+path ends in ``.gz``).  Grids are never dumped raw
 (a 32x32 batch would drown the file); instead step and cycle events carry a
 ``grid_digest`` — a short BLAKE2 digest of the working buffer — which is
 enough to assert that a replayed run (same seed, same config) visits the
@@ -21,11 +22,11 @@ run_end    steps (int | list | null), completed (bool | null), wall_time
 
 from __future__ import annotations
 
+import gzip
 import hashlib
-import io
 import json
 from pathlib import Path
-from typing import Any
+from typing import IO, Any
 
 import numpy as np
 
@@ -87,6 +88,10 @@ class JsonlTraceSink(Observer):
     file handle.  With ``digest_grids`` (default on) step/cycle events get a
     ``grid_digest`` field; turn it off for very hot loops where even
     digesting is too much.
+
+    A path ending in ``.gz`` (conventionally ``.jsonl.gz``) is written
+    gzip-compressed; :func:`read_trace` transparently reads either form, so
+    a compressed trace replays identically to a plain one.
     """
 
     wants_swap_detail = True
@@ -95,7 +100,7 @@ class JsonlTraceSink(Observer):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.digest_grids = digest_grids
-        self._fh: io.TextIOWrapper | None = self.path.open("w")
+        self._fh: IO[str] | None = _open_trace(self.path, "wt")
         self._seq = 0
 
     def _emit(self, event: str, fields: dict[str, Any]) -> None:
@@ -179,9 +184,18 @@ class JsonlTraceSink(Observer):
         self.close()
 
 
+def _open_trace(path: Path, mode: str) -> IO[str]:
+    """Text handle for ``path``; gzip-compressed when it ends in ``.gz``."""
+    if path.suffix == ".gz":
+        return gzip.open(path, mode, encoding="utf-8")
+    return path.open(mode, encoding="utf-8")
+
+
 def read_trace(path: str | Path) -> list[dict[str, Any]]:
-    """Load and validate a JSONL trace; returns the event records."""
-    lines = Path(path).read_text().splitlines()
+    """Load and validate a JSONL trace (plain or ``.gz``); returns the
+    event records."""
+    with _open_trace(Path(path), "rt") as fh:
+        lines = fh.read().splitlines()
     events = [json.loads(line) for line in lines if line.strip()]
     validate_trace_events(events)
     return events

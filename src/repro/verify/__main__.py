@@ -101,6 +101,20 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    if args.metrics_out:
+        # Create (and probe) the destination directory before the expensive
+        # verification sweep, so a bad path fails in milliseconds.
+        out_parent = Path(args.metrics_out).parent
+        try:
+            out_parent.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            print(
+                f"error: --metrics-out directory {out_parent} is not "
+                f"writable: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+
     registry = MetricsRegistry()
     report = run_verify(config, registry=registry)
 

@@ -207,3 +207,42 @@ class TestStoreEdgeCases:
         merged = np.concatenate([restored[i] for i in sorted(restored)])
         np.testing.assert_array_equal(merged, direct.values)
         assert merged.dtype == np.float64
+
+
+class TestObservabilityPayload:
+    def test_metrics_and_spans_roundtrip(self, tmp_path):
+        from repro.campaign import ShardRecord
+
+        path = tmp_path / "c.jsonl"
+        store = CheckpointStore(path, SPEC)
+        store.open(fresh=True)
+        metrics = {"repro_runs_total": {"kind": "counter", "help": "", "value": 1.0}}
+        spans = {"name": "shard", "wall": 0.25, "cpu": 0.2, "count": 1}
+        store.append(0, np.array([5, 6], dtype=np.int64), 0.1,
+                     metrics=metrics, spans=spans)
+        store.append(1, np.array([7, 8], dtype=np.int64), 0.1)
+        store.close()
+        records = CheckpointStore(path, SPEC).load_records()
+        assert isinstance(records[0], ShardRecord)
+        assert records[0].metrics == metrics
+        assert records[0].spans == spans
+        assert records[1].metrics is None and records[1].spans is None
+        # load() stays the values-only view, payload or not.
+        values = CheckpointStore(path, SPEC).load()
+        np.testing.assert_array_equal(values[0], [5, 6])
+
+    def test_payload_free_readers_unaffected(self, tmp_path):
+        """A checkpoint with payloads is loadable by the values-only path —
+        unknown fields are carried, never fatal."""
+        obs_spec = CampaignSpec("snake_1", side=6, trials=16, seed=4, shard_size=8)
+        from repro.obs import MetricsObserver, MetricsRegistry
+
+        run_campaign(
+            obs_spec, workers=1, checkpoint_dir=tmp_path,
+            observer=MetricsObserver(MetricsRegistry()),
+        )
+        store = CheckpointStore(checkpoint_path(tmp_path, obs_spec), obs_spec)
+        records = store.load_records()
+        assert all(r.metrics is not None and r.spans is not None
+                   for r in records.values())
+        assert set(store.load()) == set(records)

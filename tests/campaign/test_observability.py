@@ -1,0 +1,135 @@
+"""Cross-process observability: merged metrics, span trees, manifests.
+
+The tentpole contract of the profiling layer: a campaign run with
+collection on (an observer and/or ambient profiler) produces
+
+* one merged coordinator-side metrics registry that includes **worker**
+  activity (runs/steps counted inside pool processes),
+* one grafted span tree covering every shard regardless of which process
+  executed it,
+* a manifest whose recorded digest replays bit-identically — observation
+  must never change values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.campaign import CampaignSpec, run_campaign
+from repro.obs import (
+    MetricsObserver,
+    MetricsRegistry,
+    SpanProfiler,
+    aggregate_spans,
+    load_manifest,
+    span_from_dict,
+    use_profiler,
+    write_manifest,
+)
+
+SPEC = CampaignSpec("snake_1", side=6, trials=32, seed=77, shard_size=8)
+
+
+def run_observed(*, workers: int, profiler: SpanProfiler | None = None, **kwargs):
+    registry = MetricsRegistry()
+    observer = MetricsObserver(registry)
+    if profiler is None:
+        result = run_campaign(SPEC, workers=workers, observer=observer, **kwargs)
+    else:
+        with use_profiler(profiler):
+            result = run_campaign(SPEC, workers=workers, observer=observer, **kwargs)
+    return result, registry
+
+
+class TestMergedMetrics:
+    def test_worker_side_counts_reach_coordinator(self):
+        result, registry = run_observed(workers=2)
+        # 4 shards x (1 run each): the runs happened inside pool workers,
+        # yet the coordinator's registry must count them.
+        assert registry["repro_runs_total"].value == 4
+        assert registry["repro_steps_total"].value > 0
+        assert result.meta["worker_metrics"]["repro_runs_total"]["value"] == 4
+
+    def test_serial_and_pool_metrics_agree(self):
+        _, serial = run_observed(workers=1)
+        _, pooled = run_observed(workers=2)
+        for name in ("repro_runs_total", "repro_steps_total"):
+            assert serial[name].value == pooled[name].value
+
+    def test_unobserved_campaign_carries_no_payload(self):
+        result = run_campaign(SPEC, workers=2)
+        assert "worker_metrics" not in result.meta
+        assert "span_tree" not in result.meta
+
+
+class TestSpanTree:
+    def test_one_tree_spans_all_shards(self):
+        profiler = SpanProfiler()
+        result, _ = run_observed(workers=2, profiler=profiler)
+        tree = result.meta["span_tree"]
+        assert tree["name"] == "campaign"
+        totals = aggregate_spans([span_from_dict(tree)])
+        assert totals["shard"]["count"] == 4
+        assert totals["run"]["count"] == 4
+        assert {"compile", "kernel", "merge"} <= totals.keys()
+        # The ambient profiler holds the same tree the meta serialized.
+        assert profiler.tree()[0] == tree
+
+    def test_campaign_local_profiler_when_only_observer_given(self):
+        # No ambient profiler, but an observer: collection still happens,
+        # with a campaign-local profiler owning the tree.
+        result, _ = run_observed(workers=2)
+        tree = result.meta["span_tree"]
+        assert aggregate_spans([span_from_dict(tree)])["shard"]["count"] == 4
+
+
+class TestManifestRoundTrip:
+    def test_workers2_manifest_replays_bit_identically(self, tmp_path):
+        result, _ = run_observed(workers=2)
+        path = write_manifest(tmp_path / "manifest.json", result.to_manifest())
+        manifest = load_manifest(path)
+        assert manifest.kind == "campaign"
+        # The manifest carries the merged observability payload...
+        assert manifest.extra["worker_metrics"]["repro_runs_total"]["value"] == 4
+        assert manifest.extra["span_tree"]["name"] == "campaign"
+        # ...and its digest replays bit-identically, observed or not,
+        # serial or pooled: observation never changes values.
+        replay = run_campaign(SPEC, workers=1)
+        assert replay.values_digest == manifest.result_digest
+        np.testing.assert_array_equal(replay.values, result.values)
+
+
+class TestCheckpointedPayloads:
+    def test_resume_restores_metrics_and_spans(self, tmp_path):
+        first, first_reg = run_observed(
+            workers=2, checkpoint_dir=tmp_path, max_shards=2
+        )
+        assert not first.complete
+        resumed, resumed_reg = run_observed(
+            workers=2, checkpoint_dir=tmp_path, resume=True
+        )
+        assert resumed.complete
+        # Restored shards re-emit their checkpointed snapshots, so the
+        # resumed campaign's merged metrics and span tree still cover all
+        # four shards, not just the two recomputed ones.
+        assert resumed_reg["repro_runs_total"].value == 4
+        tree = resumed.meta["span_tree"]
+        assert aggregate_spans([span_from_dict(tree)])["shard"]["count"] == 4
+        # And values stay bit-identical to an uninterrupted run.
+        uninterrupted = run_campaign(SPEC, workers=1)
+        np.testing.assert_array_equal(resumed.values, uninterrupted.values)
+
+    def test_unobserved_checkpoint_resumes_under_observation(self, tmp_path):
+        # A checkpoint written without collection must still resume cleanly
+        # when the resuming run observes; only the fresh shards contribute.
+        partial = run_campaign(
+            SPEC, workers=1, checkpoint_dir=tmp_path, max_shards=2
+        )
+        assert not partial.complete
+        resumed, registry = run_observed(
+            workers=1, checkpoint_dir=tmp_path, resume=True
+        )
+        assert resumed.complete
+        assert registry["repro_runs_total"].value == 2  # fresh shards only
+        uninterrupted = run_campaign(SPEC, workers=1)
+        np.testing.assert_array_equal(resumed.values, uninterrupted.values)

@@ -92,6 +92,22 @@ class TestTrace:
 
 
 class TestMetricsOut:
+    def test_metrics_out_creates_missing_parent_dirs(self, tmp_path, capsys):
+        out = tmp_path / "does" / "not" / "exist" / "metrics.json"
+        assert main(["E-C1", "--metrics-out", str(out)]) == 0
+        assert json.loads(out.read_text())["repro_runs_total"]["value"] >= 1
+
+    def test_metrics_out_unwritable_path_fails_fast(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        assert main(["E-C1", "--metrics-out", str(blocker / "m.json")]) == 2
+        assert "not writable" in capsys.readouterr().err
+
+    def test_trace_creates_missing_parent_dirs(self, tmp_path, capsys):
+        trace_dir = tmp_path / "nested" / "deeper" / "traces"
+        assert main(["E-C1", "--trace", str(trace_dir)]) == 0
+        read_trace(trace_dir / "E-C1" / "events.jsonl")  # exists + validates
+
     def test_json_metrics(self, tmp_path, capsys):
         out = tmp_path / "metrics.json"
         assert main(["E-C1", "--metrics-out", str(out)]) == 0

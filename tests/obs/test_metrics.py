@@ -199,3 +199,79 @@ class TestLinkStats:
         assert reg["repro_wire_traffic"].count == len(machine.stats.comparisons)
         busiest = machine.stats.busiest_links(1)[0][1]
         assert reg["repro_busiest_wire_comparisons"].value == busiest
+
+
+class TestRegistryMerge:
+    """Cross-process aggregation: the campaign coordinator's primitive."""
+
+    def test_counters_add(self):
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        mine.counter("repro_runs_total").inc(2)
+        theirs.counter("repro_runs_total").inc(3)
+        mine.merge(theirs)
+        assert mine["repro_runs_total"].value == 5
+
+    def test_gauge_last_write_wins(self):
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        mine.gauge("repro_g").set(1.0)
+        theirs.gauge("repro_g").set(7.0)
+        mine.merge(theirs.as_dict())
+        assert mine["repro_g"].value == 7.0  # repro: allow=RPR106
+
+    def test_unknown_instruments_created_from_snapshot(self):
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        theirs.counter("repro_new_total", "worker-side only").inc(4)
+        mine.merge(theirs)
+        assert mine["repro_new_total"].value == 4
+        assert mine["repro_new_total"].help == "worker-side only"
+
+    def test_histogram_counts_sum_minmax_combine(self):
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        buckets = (1.0, 10.0, 100.0)
+        h1 = mine.histogram("repro_h", buckets=buckets)
+        h2 = theirs.histogram("repro_h", buckets=buckets)
+        for v in (0.5, 5.0):
+            h1.observe(v)
+        for v in (50.0, 500.0):  # 500 overflows the last bound
+            h2.observe(v)
+        mine.merge(theirs)
+        merged = mine["repro_h"]
+        assert merged.count == 4
+        assert merged.sum == pytest.approx(555.5)
+        assert merged.min == 0.5  # repro: allow=RPR106
+        assert merged.max == 500.0  # repro: allow=RPR106
+        assert merged.overflow == 1
+        assert merged.cumulative_counts() == [1, 2, 3]
+
+    def test_histogram_merge_is_associative_with_observes(self):
+        # Merging snapshots must equal observing everything in one registry.
+        direct = MetricsRegistry()
+        h = direct.histogram("repro_h")
+        parts = [MetricsRegistry() for _ in range(3)]
+        values = [0.001, 0.1, 3.0, 42.0, 1e6]
+        for i, v in enumerate(values):
+            h.observe(v)
+            parts[i % 3].histogram("repro_h").observe(v)
+        merged = MetricsRegistry()
+        for part in parts:
+            merged.merge(part.as_dict())
+        assert merged["repro_h"].as_dict() == direct["repro_h"].as_dict()
+
+    def test_timer_merge(self):
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        mine.timer("repro_t_seconds").observe(0.1)
+        theirs.timer("repro_t_seconds").observe(0.3)
+        mine.merge(theirs)
+        assert mine["repro_t_seconds"].count == 2
+        assert mine["repro_t_seconds"].total == pytest.approx(0.4)
+
+    def test_bucket_layout_mismatch_rejected(self):
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        mine.histogram("repro_h", buckets=(1.0, 2.0))
+        theirs.histogram("repro_h", buckets=(1.0, 2.0, 3.0))
+        with pytest.raises(DimensionError, match="bucket layout"):
+            mine.merge(theirs)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DimensionError, match="unknown kind"):
+            MetricsRegistry().merge({"repro_x": {"kind": "mystery"}})

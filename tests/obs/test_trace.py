@@ -96,6 +96,40 @@ class TestJsonlSink:
         assert path.exists()
 
 
+class TestGzipTrace:
+    def run_traced(self, path, seed=7):
+        with JsonlTraceSink(path) as sink:
+            run_until_sorted(
+                get_algorithm("snake_1"), perm_grid(6, seed=seed), observer=sink
+            )
+        return read_trace(path)
+
+    def test_gz_path_writes_gzip(self, tmp_path):
+        path = tmp_path / "events.jsonl.gz"
+        self.run_traced(path)
+        # gzip magic bytes: the file really is compressed, not just renamed.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+
+    def test_gz_trace_replays_identically_to_plain(self, tmp_path):
+        plain = self.run_traced(tmp_path / "events.jsonl")
+        gz = self.run_traced(tmp_path / "events.jsonl.gz")
+
+        def stable(events):
+            # wall_time is the one field that legitimately differs between
+            # two executions; everything else (digests included) must not.
+            return [
+                {k: v for k, v in ev.items() if k != "wall_time"}
+                for ev in events
+            ]
+
+        assert stable(gz) == stable(plain)
+
+    def test_gz_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "events.jsonl.gz"
+        events = self.run_traced(path)
+        assert path.exists() and events
+
+
 class TestSchemaValidation:
     def good(self):
         return [

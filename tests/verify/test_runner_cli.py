@@ -129,6 +129,29 @@ class TestCli:
 
         assert main(["--smoke", "--backends", "gpu"]) == 2
 
+    def test_metrics_out_creates_missing_parent_dirs(self, tmp_path):
+        from repro.verify.__main__ import main
+
+        out = tmp_path / "does" / "not" / "exist" / "metrics.json"
+        rc = main([
+            "--smoke", "--algorithms", "snake_1", "--backends", "vectorized",
+            "--corpus", "", "--metrics-out", str(out),
+        ])
+        assert rc == 0
+        assert "repro_verify_checks_total" in json.loads(out.read_text())
+
+    def test_metrics_out_unwritable_path_fails_fast(self, tmp_path, capsys):
+        from repro.verify.__main__ import main
+
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        rc = main([
+            "--smoke", "--algorithms", "snake_1", "--backends", "vectorized",
+            "--corpus", "", "--metrics-out", str(blocker / "m.json"),
+        ])
+        assert rc == 2
+        assert "not writable" in capsys.readouterr().err
+
     def test_prometheus_metrics_output(self, tmp_path):
         from repro.verify.__main__ import main
 
