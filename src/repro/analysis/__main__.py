@@ -11,9 +11,11 @@ Examples::
 Exit status follows the package-wide contract: 0 when clean, 1 on any
 finding or schedule violation, 2 on bad usage.
 
-The schedule layer statically verifies the five paper algorithms (plus the
-shearsort baseline) at representative sides; the deliberately broken
-``row_major_no_wrap`` demo is excluded — it exists to violate SCH005.
+The schedule layer statically verifies every registered schedule family —
+the five paper algorithms, the shearsort baseline, the linear odd-even
+sort, and a seeded random-network instance — at representative sides; the
+deliberately broken ``row_major_no_wrap`` demo is excluded — it exists to
+violate SCH005.
 """
 
 from __future__ import annotations
@@ -27,15 +29,18 @@ from typing import Sequence
 
 from repro.analysis.lint import LintReport, all_rules, run_lint
 from repro.analysis.schedule_check import SCHEDULE_RULES, ScheduleReport, check_schedule
-from repro.baselines.shearsort import shearsort
-from repro.core.algorithms import ALGORITHM_NAMES, get_algorithm
 from repro.errors import AnalysisError
+from repro.schedules import available_families, build_schedule, get_family, mesh_shape
 
 __all__ = ["main", "default_paths", "schedule_reports"]
 
 #: Sides the schedule verifier sweeps (odd sides skipped for the
 #: ``requires_even_side`` algorithms, mirroring the paper's constraint).
 DEFAULT_SIDES = (4, 5, 6)
+
+#: Seed for the seedable families' representative instances (fixed so the
+#: sweep verifies the same generated schedules on every run).
+_GENERATED_SEED = 0
 
 
 def default_paths() -> list[Path]:
@@ -44,16 +49,20 @@ def default_paths() -> list[Path]:
 
 
 def schedule_reports(sides: Sequence[int] = DEFAULT_SIDES) -> list[ScheduleReport]:
-    """Static reports for the registry algorithms plus the shearsort baseline."""
+    """Static reports for every registered (non-pathological) family.
+
+    Sided families are rebuilt per side; seedable families contribute a
+    fixed-seed representative instance, so generated schedules get the
+    same static scrutiny as the hand-written ones.
+    """
     reports = []
-    for name in ALGORITHM_NAMES:
-        schedule = get_algorithm(name)
+    for name in available_families():
+        family = get_family(name)
         for side in sides:
-            if schedule.requires_even_side and side % 2 != 0:
+            if family.requires_even_side and side % 2 != 0:
                 continue
-            reports.append(check_schedule(schedule, side))
-    for side in sides[:2]:
-        reports.append(check_schedule(shearsort(side), side))
+            schedule = build_schedule(name, side, seed=_GENERATED_SEED)
+            reports.append(check_schedule(schedule, *mesh_shape(schedule, side)))
     return reports
 
 

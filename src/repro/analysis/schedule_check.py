@@ -11,8 +11,9 @@ enumerates every comparator a schedule would fire on a concrete
 rule      severity    meaning
 ========  ==========  ==========================================================
 SCH001    structural  two comparators in one step touch the same cell
-SCH002    structural  mesh out of bounds (dim < 2, or odd columns for a
-                      ``requires_even_side`` schedule — the paper's
+SCH002    structural  mesh out of bounds (fewer than two cells on the longest
+                      axis, a comparator cell outside the mesh, or odd columns
+                      for a ``requires_even_side`` schedule — the paper's
                       ``sqrt(N) = 2n`` constraint)
 SCH003    structural  an op is not part of the comparator IR (or carries
                       invalid fields), so obliviousness cannot be certified
@@ -56,6 +57,7 @@ from repro.core.schedule import (
     REVERSE,
     LineOp,
     Op,
+    PairOp,
     Schedule,
     WrapOp,
     pair_count,
@@ -201,6 +203,8 @@ def op_comparators(op: Op, rows: int, cols: int) -> list[Comparator]:
     """
     if isinstance(op, WrapOp):
         return [((h, cols - 1), (h + 1, 0)) for h in range(rows - 1)]
+    if isinstance(op, PairOp):
+        return [(op.low, op.high)]
     length = cols if op.axis == "row" else rows
     pool = rows if op.axis == "row" else cols
     pairs: list[Comparator] = []
@@ -229,12 +233,15 @@ def _check_structural(
     schedule: Schedule, rows: int, cols: int, out: list[ScheduleViolation]
 ) -> int:
     """SCH001-SCH003.  Returns the total comparator count per cycle."""
-    if rows < 2 or cols < 2:
+    # Linear arrays (1 x N / N x 1) are first-class meshes — the paper's
+    # Section 1 substrate — so only meshes with fewer than two cells on
+    # their longest axis are structurally out of bounds.
+    if rows < 1 or cols < 1 or max(rows, cols) < 2:
         out.append(
             ScheduleViolation(
                 "SCH002",
                 "structural",
-                f"mesh dimensions must both be >= 2, got {rows}x{cols}",
+                f"mesh dimensions must span at least two cells, got {rows}x{cols}",
             )
         )
         return 0
@@ -263,7 +270,24 @@ def _check_structural(
                     )
                 )
                 continue
-            if not isinstance(op, (LineOp, WrapOp)):
+            if isinstance(op, PairOp):
+                oob = [
+                    cell
+                    for cell in (op.low, op.high)
+                    if not (0 <= cell[0] < rows and 0 <= cell[1] < cols)
+                ]
+                if oob:
+                    out.append(
+                        ScheduleViolation(
+                            "SCH002",
+                            "structural",
+                            f"op {op_index + 1} compares cell {oob[0]} outside "
+                            f"the {rows}x{cols} mesh",
+                            step=index,
+                        )
+                    )
+                    continue
+            if not isinstance(op, (LineOp, WrapOp, PairOp)):
                 out.append(
                     ScheduleViolation(
                         "SCH003",
@@ -306,7 +330,9 @@ def _check_structural(
     return total
 
 
-def _check_wrap_family(schedule: Schedule, out: list[ScheduleViolation]) -> None:
+def _check_wrap_family(
+    schedule: Schedule, rows: int, out: list[ScheduleViolation]
+) -> None:
     """SCH004 + SCH005: wrap wiring belongs to, and is required by, row-major."""
     for index, step in enumerate(schedule.steps, start=1):
         if any(isinstance(op, WrapOp) for op in step.ops):
@@ -321,7 +347,10 @@ def _check_wrap_family(schedule: Schedule, out: list[ScheduleViolation]) -> None
                         step=index,
                     )
                 )
-    if schedule.order == "row_major" and not schedule.uses_wraparound:
+    # A single-row mesh has no row boundaries for values to cross, so the
+    # extra wires argument is vacuous there (linear arrays sort row-major
+    # by plain odd-even transposition).
+    if rows > 1 and schedule.order == "row_major" and not schedule.uses_wraparound:
         out.append(
             ScheduleViolation(
                 "SCH005",
@@ -436,15 +465,19 @@ def _check_offset_completeness(
     step is empty there by construction).
     """
     offsets: dict[tuple[str, str], set[int]] = {}
+    pair_axes: set[str] = set()
     for step in schedule.steps:
         for op in step.ops:
+            if isinstance(op, PairOp):
+                pair_axes.add("row" if op.low[0] == op.high[0] else "col")
+                continue
             if not isinstance(op, LineOp) or not _valid_line_op(op):
                 continue
             classes = ("odd", "even") if op.lines == "all" else (op.lines,)
             for cls in classes:
                 offsets.setdefault((op.axis, cls), set()).add(op.offset)
 
-    axes_present = {axis for axis, _ in offsets}
+    axes_present = {axis for axis, _ in offsets} | pair_axes
     if schedule.uses_wraparound:
         axes_present.add("row")  # wrap comparisons move values horizontally
     if rows > 1 and "col" not in axes_present:
@@ -491,7 +524,7 @@ def check_schedule(schedule: Schedule, rows: int, cols: int | None = None) -> Sc
     cols = rows if cols is None else int(cols)
     violations: list[ScheduleViolation] = []
     total = _check_structural(schedule, rows, cols, violations)
-    _check_wrap_family(schedule, violations)
+    _check_wrap_family(schedule, rows, violations)
     _check_directions(schedule, violations)
     _check_parity_pairing(schedule, violations)
     _check_offset_completeness(schedule, rows, cols, violations)

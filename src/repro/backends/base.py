@@ -35,6 +35,7 @@ __all__ = [
     "SortOutcome",
     "StepStats",
     "step_cap",
+    "resolve_step_cap",
     "ExecutorRun",
     "Backend",
     "wants_swap_detail",
@@ -54,6 +55,23 @@ def step_cap(rows: int, cols: int | None = None) -> int:
         cols = rows
     n_cells = rows * cols
     return 8 * n_cells + 8 * (rows + cols) + 64
+
+
+def resolve_step_cap(schedule: Schedule, rows: int, cols: int | None = None) -> int:
+    """The default step cap for one ``(schedule, mesh)`` pair.
+
+    Generated schedule families whose sorting time is not Theta(N) — e.g.
+    random adjacent-comparator networks, which fire one comparator per step —
+    declare a provable bound in ``schedule.metadata["step_cap_hint"]``; the
+    driver honours it (taking the larger of hint and :func:`step_cap`, so a
+    hint can only loosen the default).  Schedules without a hint get the
+    paper-calibrated :func:`step_cap`.
+    """
+    base = step_cap(rows, cols)
+    hint = schedule.metadata.get("step_cap_hint")
+    if hint is None:
+        return base
+    return max(base, int(hint))
 
 
 @dataclass

@@ -27,6 +27,7 @@ from repro.core.schedule import (
     FORWARD,
     LineOp,
     Op,
+    PairOp,
     Schedule,
     WrapOp,
     lines_slice,
@@ -102,9 +103,26 @@ def _compile_wrap_op(rows: int, cols: int) -> Kernel:
     return kernel
 
 
+def _compile_pair_op(op: PairOp) -> Kernel:
+    """Single compare-exchange between two mesh cells (smaller at ``low``)."""
+    (r1, c1), (r2, c2) = op.low, op.high
+
+    def kernel(grid: np.ndarray) -> None:
+        a = grid[..., r1, c1]
+        b = grid[..., r2, c2]
+        lo = np.minimum(a, b)
+        hi = np.maximum(a, b)
+        grid[..., r1, c1] = lo
+        grid[..., r2, c2] = hi
+
+    return kernel
+
+
 def _compile_op(op: Op, rows: int, cols: int) -> Kernel:
     if isinstance(op, WrapOp):
         return _compile_wrap_op(rows, cols)
+    if isinstance(op, PairOp):
+        return _compile_pair_op(op)
     return _compile_line_op(op, rows, cols)
 
 

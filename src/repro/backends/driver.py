@@ -31,7 +31,7 @@ from repro.backends.base import (
     Backend,
     ExecutorRun,
     SortOutcome,
-    step_cap,
+    resolve_step_cap,
     wants_swap_detail,
 )
 from repro.backends.registry import get_backend
@@ -155,7 +155,9 @@ def run_sort(
         ``(rows, cols)`` array — or ``(..., rows, cols)`` on batch-capable
         backends; never modified.
     max_steps:
-        Step cap; defaults to :func:`repro.backends.base.step_cap`.
+        Step cap; defaults to :func:`repro.backends.base.resolve_step_cap`
+        (the paper-calibrated :func:`~repro.backends.base.step_cap`, loosened
+        by a schedule's ``step_cap_hint`` metadata when present).
     raise_on_cap:
         If True, raise :class:`StepLimitExceeded` when the cap is hit with
         unsorted grids; otherwise report ``steps == -1`` for those entries.
@@ -179,7 +181,7 @@ def run_sort(
         with span("compile"):
             run = be.prepare(schedule, grid)
         if max_steps is None:
-            max_steps = step_cap(run.rows, run.cols)
+            max_steps = resolve_step_cap(schedule, run.rows, run.cols)
         obs = resolve_observer(observer)
         want_swaps = be.counts_swaps or (obs is not None and wants_swap_detail(obs))
 

@@ -26,8 +26,8 @@ class ReferenceRun(ExecutorRun):
     def __init__(self, machine: ReferenceMachine, target: np.ndarray):
         self.machine = machine
         self.target = target
-        self.rows = machine.side
-        self.cols = machine.side
+        self.rows = machine.rows
+        self.cols = machine.cols
         self.batch_shape = ()
         self.cycle_len = len(machine.schedule.steps)
 
@@ -51,7 +51,7 @@ class ReferenceBackend(Backend):
     name = "reference"
     event_executor = "reference"
     supports_batch = False
-    supports_rect = False
+    supports_rect = True
     counts_swaps = True
 
     def prepare(self, schedule: Schedule, grid: np.ndarray) -> ReferenceRun:
@@ -62,5 +62,12 @@ class ReferenceBackend(Backend):
                 f"(2-d array), got shape {arr.shape}"
             )
         machine = ReferenceMachine(schedule, arr)
-        target = target_grid(machine.as_array(), machine.side, schedule.order)
+        if machine.rows == machine.cols:
+            target = target_grid(machine.as_array(), machine.side, schedule.order)
+        else:
+            from repro.rect.orders import rect_target_grid
+
+            target = rect_target_grid(
+                machine.as_array(), machine.rows, machine.cols, schedule.order
+            )
         return ReferenceRun(machine, target)

@@ -1,4 +1,4 @@
-"""The broken row-major variant without wrap-around wires.
+"""Deprecated shim — the wire-less row-major variant lives in the registry.
 
 Section 1 of the paper explains *why* the row-major algorithms need the
 extra wires: "Suppose that we did not have them and the smallest 2n numbers
@@ -6,24 +6,26 @@ were initially stored by the cells in column 1.  Then the smallest 2n
 numbers will be forced to stay in the same column at each step and we would
 never get the desired ordering."
 
-This module provides the wire-less schedule so the experiments (and tests)
-can demonstrate exactly that failure: on the adversarial input the run hits
-any step cap with the smallest column pinned in place, while the wired
-variant sorts in Θ(N).
+.. deprecated::
+    The schedule moved to :mod:`repro.schedules` as the *pathological*
+    family ``"row_major_no_wrap"`` (resolvable by name everywhere, excluded
+    from sweeps by default).  :func:`row_major_no_wrap` below delegates to
+    the registry builder — same name, same steps, bit-identical behaviour —
+    and emits a :class:`DeprecationWarning`.
+
+:func:`smallest_column_adversary` (the demonstrating *input*, not a
+schedule) stays here warning-free.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.core.phases import (
-    col_even_bubble,
-    col_odd_bubble,
-    row_even_bubble,
-    row_odd_bubble,
-)
-from repro.core.schedule import Schedule, Step
+from repro.core.schedule import Schedule
 from repro.errors import DimensionError
+from repro.schedules.baselines import build_row_major_no_wrap
 
 __all__ = ["row_major_no_wrap", "smallest_column_adversary"]
 
@@ -31,22 +33,17 @@ __all__ = ["row_major_no_wrap", "smallest_column_adversary"]
 def row_major_no_wrap() -> Schedule:
     """The first row-major algorithm with the wrap-around comparisons removed.
 
-    Not a sorting algorithm: column weights are invariant under all four of
-    its steps except for the odd/even row transpositions, which can never
-    move values past the column-1/column-2n boundary.
+    .. deprecated:: resolve the registry name ``"row_major_no_wrap"`` (or
+       call ``repro.schedules.build_row_major_no_wrap``) instead.
     """
-    return Schedule(
-        name="row_major_no_wrap",
-        steps=(
-            Step(row_odd_bubble()),
-            Step(col_odd_bubble()),
-            Step(row_even_bubble()),
-            Step(col_even_bubble()),
-        ),
-        order="row_major",
-        requires_even_side=True,
-        metadata={"family": "broken-baseline"},
+    warnings.warn(
+        "repro.baselines.no_wrap.row_major_no_wrap is deprecated; resolve "
+        "the registry family 'row_major_no_wrap' via repro.schedules "
+        "(identical schedule)",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return build_row_major_no_wrap()
 
 
 def smallest_column_adversary(side: int, *, column: int = 0) -> np.ndarray:

@@ -1,70 +1,44 @@
-"""Shearsort on the same machine model (the classic Θ(sqrt(N) log N) contrast).
+"""Deprecated shim — shearsort now lives in the schedule-family registry.
 
-The paper's headline is that all five bubble-sort generalizations need
-Θ(N) steps *on average*, far above the mesh diameter Ω(sqrt(N)).  Shearsort
-is the natural comparison point: alternately sort all rows snake-wise and
-all columns, ``ceil(log2(side)) + 1`` row phases in total; by the classic
-0-1 argument the grid is then in snakelike order.
+.. deprecated::
+    Shearsort construction moved to :mod:`repro.schedules` (family
+    ``"shearsort"``; build instances with
+    ``build_schedule("shearsort", side)`` or resolve the spec string
+    ``"shearsort[side=8]"`` anywhere an algorithm name is accepted).
+    :func:`shearsort` below delegates to the registry builder and emits a
+    :class:`DeprecationWarning`; the schedule it returns is step-for-step
+    identical to the historical one (only the instance *name* changed, to
+    canonical spec syntax), so every run outcome is bit-identical.
 
-To keep the cost model identical to the five algorithms, each phase is
-expressed in the same comparator IR: a full line sort is ``side`` odd-even
-transposition steps (alternating offsets), so one shearsort step costs
-exactly one mesh step.  The total schedule length is
-``(2 * ceil(log2(side)) + 1) * side`` steps — Θ(sqrt(N) log N).
+The step-count helpers :func:`shearsort_phases` and
+:func:`shearsort_step_count` are pure math, re-exported warning-free.
 """
 
 from __future__ import annotations
 
-import math
+import warnings
 
-from repro.core.schedule import FORWARD, REVERSE, LineOp, Schedule, Step
-from repro.errors import DimensionError
+from repro.core.schedule import Schedule
+from repro.schedules.baselines import (
+    build_shearsort,
+    shearsort_phases,
+    shearsort_step_count,
+)
 
-__all__ = ["shearsort", "shearsort_step_count"]
-
-
-def shearsort_phases(side: int) -> int:
-    """Number of row phases: ``ceil(log2(side)) + 1``."""
-    if side < 2:
-        raise DimensionError(f"side must be >= 2, got {side}")
-    return math.ceil(math.log2(side)) + 1
-
-
-def shearsort_step_count(side: int) -> int:
-    """Length of the shearsort schedule in mesh steps."""
-    phases = shearsort_phases(side)
-    return (2 * phases - 1) * side
+__all__ = ["shearsort", "shearsort_phases", "shearsort_step_count"]
 
 
 def shearsort(side: int) -> Schedule:
     """Build the shearsort schedule for a concrete mesh side.
 
-    Unlike the five bubble-sort generalizations, shearsort's schedule is not
-    a short cycle — it depends on ``side`` (its length is
-    Θ(sqrt(N) log N)).  The returned schedule repeats cyclically, which is
-    harmless: the snakelike sorted grid is a fixed point of every step.
+    .. deprecated:: use ``repro.schedules.build_schedule("shearsort", side)``
+       (or the spec string ``"shearsort[side=...]"``) instead.
     """
-    if side < 2:
-        raise DimensionError(f"side must be >= 2, got {side}")
-    steps: list[Step] = []
-    phases = shearsort_phases(side)
-    for phase in range(phases):
-        # Row phase: sort paper-odd rows ascending, paper-even rows
-        # descending (snake direction), via `side` transposition steps.
-        for j in range(side):
-            steps.append(
-                Step(
-                    LineOp("row", j % 2, FORWARD, "odd"),
-                    LineOp("row", j % 2, REVERSE, "even"),
-                )
-            )
-        if phase < phases - 1:
-            # Column phase: sort every column top-down.
-            for j in range(side):
-                steps.append(Step(LineOp("col", j % 2, FORWARD, "all")))
-    return Schedule(
-        name=f"shearsort_{side}",
-        steps=tuple(steps),
-        order="snake",
-        metadata={"family": "shearsort", "side": side},
+    warnings.warn(
+        "repro.baselines.shearsort.shearsort is deprecated; use "
+        "repro.schedules.build_schedule('shearsort', side) or the "
+        "'shearsort[side=...]' spec string (identical schedule)",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return build_shearsort(side=side)

@@ -9,9 +9,10 @@ Each :class:`BenchCase` names one operation worth tracking over time:
 * ``campaign_workers*`` — the sharded Monte-Carlo engine, serial and with
   a 2-process pool, through the public :func:`repro.experiments.sample`
   facade;
-* ``sort_<algorithm>_side<S>`` — sort-to-completion for every one of the
-  paper's five algorithms (side 16 in the smoke suite; 16/32/64 in the
-  full suite);
+* ``sort_<family>_side<S>`` — sort-to-completion for every registered
+  schedule family (paper algorithms, shearsort, the linear odd-even sort,
+  a pinned random network), each on its own topology's default backend
+  (side 16 in the smoke suite; 16/32/64 in the full suite);
 * ``span_overhead_disabled`` — the module-level :func:`repro.obs.prof.span`
   fast path with **no** profiler installed, pinning the package's
   zero-overhead-when-disabled guarantee to a number.
@@ -36,6 +37,8 @@ SUITES = ("smoke", "full")
 _SEED = 20260808  # fixed: identical inputs on every bench run
 _STEPS = 64  # driver-loop iterations per timed body
 _TRIALS = 48  # campaign trials per timed body
+_COMPILE_SIDE = 32  # mesh side for the compile-cache cases
+_NETWORK_STEPS = 128  # pinned random-network cycle length (side-independent)
 
 
 @dataclass(frozen=True)
@@ -88,24 +91,25 @@ def _body_driver(state) -> Any:
 
 
 def _setup_compile() -> Any:
-    from repro.core.runner import resolve_algorithm
+    from repro.schedules import mesh_shape
 
-    return [resolve_algorithm(name) for name in _algorithm_names()]
+    schedules = [_family_schedule(name, _COMPILE_SIDE) for name in _algorithm_names()]
+    return [(s, mesh_shape(s, _COMPILE_SIDE)) for s in schedules]
 
 
-def _body_compile_miss(schedules) -> Any:
+def _body_compile_miss(entries) -> Any:
     from repro.backends.compile import compiled_schedule, schedule_cache_clear
 
     schedule_cache_clear()
-    for schedule in schedules:
-        compiled_schedule(schedule, 32)
+    for schedule, (rows, cols) in entries:
+        compiled_schedule(schedule, rows, cols)
 
 
-def _body_compile_hit(schedules) -> Any:
+def _body_compile_hit(entries) -> Any:
     from repro.backends.compile import compiled_schedule
 
-    for schedule in schedules:
-        compiled_schedule(schedule, 32)
+    for schedule, (rows, cols) in entries:
+        compiled_schedule(schedule, rows, cols)
 
 
 def _setup_campaign(workers: int) -> Callable[[], Any]:
@@ -131,9 +135,12 @@ def _body_campaign(kwargs) -> Any:
 
 def _setup_sort(algorithm: str, side: int) -> Callable[[], Any]:
     def setup():
-        from repro.core.runner import resolve_algorithm
+        from repro.randomness import random_permutation_mesh
+        from repro.schedules import execution_backend, mesh_shape
 
-        return resolve_algorithm(algorithm), _grid(side)
+        schedule = _family_schedule(algorithm, side)
+        grid = random_permutation_mesh(mesh_shape(schedule, side), rng=_SEED)
+        return execution_backend(schedule), schedule, grid
 
     return setup
 
@@ -141,8 +148,8 @@ def _setup_sort(algorithm: str, side: int) -> Callable[[], Any]:
 def _body_sort(state) -> Any:
     from repro.backends import run_sort
 
-    schedule, grid = state
-    return run_sort("vectorized", schedule, grid)
+    backend, schedule, grid = state
+    return run_sort(backend, schedule, grid)
 
 
 def _setup_noop() -> Any:
@@ -158,9 +165,22 @@ def _body_span_disabled(_state) -> Any:
 
 
 def _algorithm_names() -> tuple[str, ...]:
-    from repro.core.algorithms import ALGORITHM_NAMES
+    from repro.schedules import available_families
 
-    return ALGORITHM_NAMES
+    return available_families()
+
+
+def _family_schedule(name: str, side: int):
+    """Build the representative instance of ``name`` at ``side``.
+
+    Seeded families get the fixed bench seed; the random network's cycle is
+    pinned to :data:`_NETWORK_STEPS` draws so its compile and sort costs
+    track the code, not the side-dependent default cycle length.
+    """
+    from repro.schedules import build_schedule
+
+    params = {"steps": _NETWORK_STEPS} if name == "random_network" else None
+    return build_schedule(name, side, seed=_SEED, params=params)
 
 
 # ---------------------------------------------------------------------------

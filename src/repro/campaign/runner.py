@@ -322,7 +322,7 @@ def run_campaign(
         "kind": spec.kind,
         "input_kind": spec.input_kind,
         "seed": seed_provenance(spec.seed),
-        "backend": spec.backend,
+        "backend": spec.resolved_backend,
         "workers": workers,
         "num_shards": len(plan),
         "shard_size": spec.shard_size,

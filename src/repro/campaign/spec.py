@@ -78,7 +78,7 @@ class CampaignSpec:
     kind: str = "sort_steps"
     input_kind: str | None = None
     seed: int | tuple[int, ...] = 0
-    backend: str = "vectorized"
+    backend: str | None = None
     statistic: Callable | None = field(default=None, compare=False)
     num_steps: int = 1
     max_steps: int | None = None
@@ -107,15 +107,28 @@ class CampaignSpec:
                 f"input_kind must be one of {INPUT_KINDS}, got {self.input_kind!r}"
             )
         # Fail fast on unknown algorithms/backends in the coordinating
-        # process instead of inside every worker.
-        resolve_algorithm(self.algorithm)
-        from repro.backends import available_backends
+        # process instead of inside every worker.  Resolution goes through
+        # the schedule registry (side-aware, so sided families like
+        # shearsort work by bare name) and raises UnknownScheduleError
+        # listing the registered families for bad names.
+        schedule = resolve_algorithm(self.algorithm, self.side)
+        from repro.backends import available_backends, get_backend
+        from repro.schedules import execution_backend, mesh_shape
 
-        if self.backend not in available_backends():
+        if self.backend is not None and self.backend not in available_backends():
             raise DimensionError(
                 f"unknown backend {self.backend!r}; "
                 f"available: {', '.join(available_backends())}"
             )
+        rows, cols = mesh_shape(schedule, self.side)
+        if rows != cols:
+            resolved = execution_backend(schedule, self.backend)
+            if not get_backend(resolved).supports_rect:
+                raise DimensionError(
+                    f"backend {resolved!r} only supports square meshes, but "
+                    f"schedule {schedule.name!r} runs on a {rows}x{cols} mesh; "
+                    f"use a rect-capable backend or leave backend unset"
+                )
 
     # ------------------------------------------------------------------
     # Shard plan.
@@ -123,8 +136,29 @@ class CampaignSpec:
 
     @property
     def algorithm_name(self) -> str:
-        """The schedule's registry name (used in fingerprints and events)."""
-        return resolve_algorithm(self.algorithm).name
+        """The schedule's resolved instance name (used in fingerprints and
+        events).
+
+        Generated families bake their parameters and seed into the name
+        (``"random_network[seed=7,side=16,steps=512]"``), so two campaigns
+        over different network draws get different fingerprints even though
+        every other identity field matches.
+        """
+        return resolve_algorithm(self.algorithm, self.side).name
+
+    @property
+    def resolved_backend(self) -> str:
+        """The backend that actually executes this campaign.
+
+        ``backend=None`` auto-selects by topology (square → ``vectorized``,
+        non-square → ``rect``), exactly as each worker resolves it; the
+        resolved name is what run metadata reports.
+        """
+        from repro.schedules import execution_backend
+
+        return execution_backend(
+            resolve_algorithm(self.algorithm, self.side), self.backend
+        )
 
     def shards(self) -> list[Shard]:
         """The deterministic shard plan: ``ceil(trials / shard_size)`` shards."""

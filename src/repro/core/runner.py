@@ -22,7 +22,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.backends import Backend, get_backend, run_sort
-from repro.core.algorithms import get_algorithm
 from repro.core.engine import SortOutcome, iter_steps, run_fixed_steps
 from repro.core.schedule import Schedule
 from repro.errors import DimensionError
@@ -55,11 +54,29 @@ class SortReport:
         return self.outcome.steps_scalar()
 
 
-def resolve_algorithm(algorithm: str | Schedule) -> Schedule:
-    """Coerce a registry name or an explicit schedule to a schedule."""
+def resolve_algorithm(
+    algorithm: str | Schedule,
+    side: int | None = None,
+    *,
+    seed: int | None = None,
+) -> Schedule:
+    """Coerce a family name, family spec, or explicit schedule to a schedule.
+
+    Names resolve through the :mod:`repro.schedules` registry, which
+    understands both bare family names (``"snake_1"``, ``"odd_even"``) and
+    parameterized specs (``"shearsort[side=8]"``,
+    ``"random_network[side=16,seed=7]"``).  ``side`` and ``seed`` fill in
+    parameters a sided/seedable family needs when the spec leaves them
+    out.  Unknown names raise
+    :class:`~repro.errors.UnknownScheduleError`, whose message lists every
+    registered family.
+    """
     if isinstance(algorithm, Schedule):
         return algorithm
-    return get_algorithm(algorithm)
+    # Imported lazily: repro.schedules builds on repro.core, not vice versa.
+    from repro.schedules import resolve
+
+    return resolve(algorithm, side=side, seed=seed)
 
 
 _resolve = resolve_algorithm
@@ -104,7 +121,7 @@ def sort_grid(
         Backend-registry name (see :func:`repro.backends.available_backends`)
         or instance; wins over ``engine`` when provided.
     """
-    schedule = _resolve(algorithm)
+    schedule = _resolve(algorithm, int(np.asarray(grid).shape[-1]))
     if backend is None:
         try:
             backend = _ENGINE_TO_BACKEND[engine]
@@ -116,6 +133,12 @@ def sort_grid(
         if engine == "reference":
             # The oracle path has always treated a capped run as an error.
             raise_on_cap = True
+        elif engine == "numpy":
+            # Linear-topology schedules need the rect kernels; square
+            # schedules keep the historical vectorized default.
+            from repro.schedules import execution_backend
+
+            backend = execution_backend(schedule)
     outcome = run_sort(
         get_backend(backend),
         schedule,
@@ -135,12 +158,13 @@ def sort_steps(
     start_t: int = 1,
 ) -> np.ndarray:
     """Grid state after exactly ``num_steps`` steps (vectorized engine)."""
-    return run_fixed_steps(_resolve(algorithm), grid, num_steps, start_t=start_t)
+    side = int(np.asarray(grid).shape[-1])
+    return run_fixed_steps(_resolve(algorithm, side), grid, num_steps, start_t=start_t)
 
 
 def trace(algorithm: str | Schedule, grid: np.ndarray, num_steps: int):
     """Iterate ``(t, snapshot)`` over the first ``num_steps`` steps."""
-    return iter_steps(_resolve(algorithm), grid, num_steps)
+    return iter_steps(_resolve(algorithm, int(np.asarray(grid).shape[-1])), grid, num_steps)
 
 
 def describe_algorithm(algorithm: str | Schedule) -> str:

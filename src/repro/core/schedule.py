@@ -12,6 +12,10 @@ the pair.  This module provides a tiny declarative IR for such procedures:
 * :class:`WrapOp` — the wrap-around comparisons of the row-major algorithms:
   for each ``h``, cell ``(h, last column)`` against ``(h+1, first column)``
   with the smaller value kept in column ``last``;
+* :class:`PairOp` — a single compare-exchange between two adjacent cells
+  (the building block of generated comparator networks such as the random
+  sorting networks of Angel–Holroyd–Romik–Virág, where each step fires one
+  nearest-neighbour comparator);
 * :class:`Step` — a set of ops executed simultaneously (they must touch
   disjoint cells; :func:`validate_schedule` checks this for a concrete side);
 * :class:`Schedule` — a named sequence of steps, executed cyclically.
@@ -35,6 +39,7 @@ __all__ = [
     "Lines",
     "LineOp",
     "WrapOp",
+    "PairOp",
     "Op",
     "Step",
     "Schedule",
@@ -148,7 +153,43 @@ class WrapOp:
         return "wrap-around comparisons (h, last) vs (h+1, first)"
 
 
-Op = LineOp | WrapOp
+@dataclass(frozen=True)
+class PairOp:
+    """One compare-exchange between two adjacent cells.
+
+    The smaller value is stored at :attr:`low`, the larger at :attr:`high`.
+    The two cells must be nearest neighbours (horizontally or vertically
+    adjacent) so the op stays executable on a mesh without extra wires.
+    Generated schedule families (e.g. random adjacent-comparator networks
+    on a ``1 x N`` linear array) are built from these.
+    """
+
+    low: tuple[int, int]
+    high: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        low = tuple(int(v) for v in self.low)
+        high = tuple(int(v) for v in self.high)
+        if len(low) != 2 or len(high) != 2:
+            raise ScheduleValidationError(
+                f"PairOp cells must be (row, col) pairs, got {self.low!r}, {self.high!r}"
+            )
+        if min(*low, *high) < 0:
+            raise ScheduleValidationError(
+                f"PairOp cells must be non-negative, got {low} vs {high}"
+            )
+        if abs(low[0] - high[0]) + abs(low[1] - high[1]) != 1:
+            raise ScheduleValidationError(
+                f"PairOp cells must be mesh-adjacent, got {low} vs {high}"
+            )
+        object.__setattr__(self, "low", low)
+        object.__setattr__(self, "high", high)
+
+    def describe(self) -> str:
+        return f"compare cells {self.low} vs {self.high} (smaller at {self.low})"
+
+
+Op = LineOp | WrapOp | PairOp
 
 
 @dataclass(frozen=True)
@@ -231,6 +272,14 @@ def touched_cells(op: Op, side: int) -> np.ndarray:
         mask[:-1, side - 1] = True
         mask[1:, 0] = True
         return mask
+    if isinstance(op, PairOp):
+        for r, c in (op.low, op.high):
+            if r >= side or c >= side:
+                raise ScheduleValidationError(
+                    f"PairOp cell ({r}, {c}) out of bounds for side {side}"
+                )
+            mask[r, c] = True
+        return mask
     idx = line_indices(op.lines, side)
     p = pair_count(op.offset, side)
     span = slice(op.offset, op.offset + 2 * p)
@@ -253,6 +302,8 @@ def comparator_pairs(op: Op, side: int) -> list[tuple[tuple[int, int], tuple[int
         for h in range(side - 1):
             pairs.append(((h, side - 1), (h + 1, 0)))
         return pairs
+    if isinstance(op, PairOp):
+        return [(op.low, op.high)]
     p = pair_count(op.offset, side)
     for line in line_indices(op.lines, side):
         for k in range(p):

@@ -10,6 +10,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "DimensionError",
+    "UnknownScheduleError",
     "UnsupportedMeshError",
     "ScheduleValidationError",
     "StepLimitExceeded",
@@ -35,6 +36,20 @@ class UnsupportedMeshError(ReproError, ValueError):
     The two row-major algorithms of the paper require an even mesh side
     (``sqrt(N) = 2n``): at odd side the wrap-around comparison would collide
     with the even row-sorting step in the last column.
+    """
+
+
+class UnknownScheduleError(DimensionError, UnsupportedMeshError):
+    """A schedule-family lookup failed.
+
+    Raised by :mod:`repro.schedules` when a name does not match any
+    registered family (or a family spec string cannot be parsed).  The
+    message always lists the registered family names, so CLI surfaces can
+    surface valid choices without hardcoding them.  Derives from both
+    :class:`DimensionError` (the facade's bad-request contract) and
+    :class:`UnsupportedMeshError` (what ``get_algorithm`` historically
+    raised for unknown names), so existing ``except`` clauses keep
+    working.
     """
 
 

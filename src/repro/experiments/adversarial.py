@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.no_wrap import row_major_no_wrap, smallest_column_adversary
+from repro.baselines.no_wrap import smallest_column_adversary
 from repro.core.runner import sort_grid
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.tables import Table
@@ -63,7 +63,9 @@ def exp_no_wrap(cfg: ExperimentConfig) -> Table:
         "can never leave their column, so the sort never completes and the "
         "column's zero count never changes."
     )
-    schedule = row_major_no_wrap()
+    # Resolved by registry name: the pathological family is addressable
+    # even though sweeps exclude it by default.
+    schedule = "row_major_no_wrap"
     for side in cfg.even_sides:
         adversary = smallest_column_adversary(side)
         cap = 8 * side * side

@@ -18,7 +18,7 @@ from repro.linear.analysis import (
     average_lower_smallest_element,
     worst_case_upper,
 )
-from repro.linear.odd_even import sort_linear, worst_case_input
+from repro.linear.odd_even import _driver_sort_linear, worst_case_input
 from repro.randomness import as_generator
 
 __all__ = ["exp_linear"]
@@ -48,9 +48,9 @@ def exp_linear(cfg: ExperimentConfig) -> Table:
         base = np.arange(n, dtype=np.int64)
         for i in range(trials):
             batch[i] = rng.permutation(base)
-        outcome = sort_linear(batch)
+        outcome = _driver_sort_linear(batch)
         stats = summarize(outcome.steps)
-        worst = sort_linear(worst_case_input(n)).steps_scalar()
+        worst = _driver_sort_linear(worst_case_input(n)).steps_scalar()
         table.add_row(
             n,
             trials,

@@ -24,12 +24,18 @@ from math import sqrt
 
 import numpy as np
 
-from repro.backends import Backend, get_backend, run_sort, run_steps, step_cap
+from repro.backends import Backend, get_backend, run_sort, run_steps
+from repro.backends.base import resolve_step_cap
 from repro.core.runner import resolve_algorithm
 from repro.core.schedule import Schedule
 from repro.errors import DimensionError, StepLimitExceeded
 from repro.obs.events import Observer
-from repro.randomness import SeedLike, as_generator, random_permutation_grid, random_zero_one_grid
+from repro.randomness import (
+    SeedLike,
+    as_generator,
+    random_permutation_mesh,
+    random_zero_one_mesh,
+)
 
 __all__ = [
     "SMALL_SAMPLE_COUNT",
@@ -110,12 +116,45 @@ def summarize(values: np.ndarray) -> TrialStats:
     )
 
 
-def _draw_grids(side: int, batch: int, input_kind: str, rng) -> np.ndarray:
+def _draw_grids(
+    shape: tuple[int, int], batch: int, input_kind: str, rng
+) -> np.ndarray:
     if input_kind == "permutation":
-        return random_permutation_grid(side, batch=batch, rng=rng)
+        return random_permutation_mesh(shape, batch=batch, rng=rng)
     if input_kind == "zero_one":
-        return random_zero_one_grid(side, batch=batch, rng=rng)
+        return random_zero_one_mesh(shape, batch=batch, rng=rng)
     raise DimensionError(f"unknown input_kind {input_kind!r}")
+
+
+def _resolve_run_plan(
+    algorithm: str | Schedule,
+    side: int,
+    backend: str | Backend | None,
+) -> tuple[Schedule, tuple[int, int], Backend]:
+    """Resolve ``(schedule, mesh shape, backend)`` for one sampling run.
+
+    The registry decides the mesh a ``side`` induces (square families run
+    ``side × side``, linear families ``1 × side``) and, when the caller did
+    not pick a backend, which backend executes it (vectorized for square,
+    rect for linear).  An explicitly chosen backend that cannot run the
+    schedule's mesh is rejected eagerly with a clear message instead of
+    failing deep inside ``prepare``.
+    """
+    from repro.schedules import execution_backend, mesh_shape
+
+    schedule = resolve_algorithm(algorithm, side)
+    shape = mesh_shape(schedule, side)
+    if backend is None or isinstance(backend, str):
+        be = get_backend(execution_backend(schedule, backend))
+    else:
+        be = backend
+    if shape[0] != shape[1] and not be.supports_rect:
+        raise DimensionError(
+            f"backend {be.name!r} only supports square meshes, but schedule "
+            f"{schedule.name!r} runs on a {shape[0]}x{shape[1]} mesh; "
+            f"use a rect-capable backend or leave backend unset"
+        )
+    return schedule, shape, be
 
 
 def _sort_steps_values(
@@ -128,26 +167,28 @@ def _sort_steps_values(
     input_kind: str = "permutation",
     batch_size: int | None = None,
     observer: Observer | None = None,
-    backend: str | Backend = "vectorized",
+    backend: str | Backend | None = "vectorized",
 ) -> np.ndarray:
     """Warning-free core of the historical ``sample_sort_steps``.
 
     Shared by the deprecation shim, the :func:`repro.experiments.sample`
     facade, and every campaign shard worker — one draw order, so the same
     ``seed`` yields the same values through every entry point.
+
+    ``backend=None`` lets the schedule registry pick the topology-matched
+    backend (square → vectorized, linear → rect).
     """
     rng = as_generator(seed)
-    be = get_backend(backend)
-    schedule = resolve_algorithm(algorithm)
+    schedule, shape, be = _resolve_run_plan(algorithm, side, backend)
     if max_steps is None:
-        max_steps = step_cap(side)
+        max_steps = resolve_step_cap(schedule, *shape)
     if batch_size is None:
         batch_size = min(trials, 256)
     out = np.empty(trials, dtype=np.int64)
     done = 0
     while done < trials:
         batch = min(batch_size, trials - done)
-        grids = _draw_grids(side, batch, input_kind, rng)
+        grids = _draw_grids(shape, batch, input_kind, rng)
         if be.supports_batch:
             outcome = run_sort(
                 be, schedule, grids, max_steps=max_steps, observer=observer
@@ -178,19 +219,18 @@ def _statistic_values(
     input_kind: str = "zero_one",
     batch_size: int | None = None,
     observer: Observer | None = None,
-    backend: str | Backend = "vectorized",
+    backend: str | Backend | None = "vectorized",
 ) -> np.ndarray:
     """Warning-free core of the historical ``sample_statistic_after_steps``."""
     rng = as_generator(seed)
-    be = get_backend(backend)
     if batch_size is None:
         batch_size = min(trials, 512)
-    schedule = resolve_algorithm(algorithm)
+    schedule, shape, be = _resolve_run_plan(algorithm, side, backend)
     chunks = []
     done = 0
     while done < trials:
         batch = min(batch_size, trials - done)
-        grids = _draw_grids(side, batch, input_kind, rng)
+        grids = _draw_grids(shape, batch, input_kind, rng)
         if be.supports_batch:
             after = run_steps(be, schedule, grids, num_steps, observer=observer)
         else:

@@ -77,7 +77,7 @@ def sample(
     max_steps: int | None = None,
     batch_size: int | None = None,
     observer: Observer | None = None,
-    backend: str = "vectorized",
+    backend: str | None = None,
     workers: int = 1,
     shard_size: int | None = None,
     checkpoint_dir: str | Path | None = None,
@@ -101,6 +101,11 @@ def sample(
         ``"permutation"`` or ``"zero_one"``; defaults to ``"permutation"``
         for ``sort_steps`` and ``"zero_one"`` for ``statistic`` (the
         paper's conventions).
+    backend:
+        Backend-registry name; ``None`` (default) lets the schedule
+        registry pick the topology-matched backend — ``"vectorized"`` for
+        square families (the historical default), ``"rect"`` for linear
+        families such as ``odd_even`` and ``random_network``.
     workers, shard_size, checkpoint_dir, resume, retries, max_shards:
         Campaign-mode knobs — see :func:`repro.campaign.run_campaign`.
         Any of ``workers != 1``, an explicit ``shard_size``, or a
@@ -172,16 +177,19 @@ def sample(
             backend=backend,
         )
     elapsed = watch.elapsed
+    from repro.schedules import execution_backend
+
+    schedule = resolve_algorithm(algorithm, side)
     meta: dict[str, Any] = {
         "mode": "in-process",
-        "algorithm": resolve_algorithm(algorithm).name,
+        "algorithm": schedule.name,
         "side": side,
         "trials": int(values.size),
         "kind": kind,
         "input_kind": input_kind
         or ("permutation" if kind == "sort_steps" else "zero_one"),
         "seed": seed_provenance(seed),
-        "backend": backend,
+        "backend": backend if isinstance(backend, str) else execution_backend(schedule, backend),
         "workers": 1,
         "elapsed": elapsed,
     }

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import math
 
-from repro.baselines.shearsort import shearsort
 from repro.core.algorithms import ALGORITHM_NAMES
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.sampling import sample
@@ -52,7 +51,7 @@ def exp_scaling(cfg: ExperimentConfig) -> Table:
                 diameter_lower_bound(side),
             )
         shear_stats = sample(
-            shearsort(side), side=side, trials=cfg.trials,
+            "shearsort", side=side, trials=cfg.trials,
             seed=(cfg.seed, side, 22), **cfg.sampler_kwargs,
         ).stats
         table.add_row(

@@ -26,7 +26,10 @@ __all__ = [
     "shard_seed_sequence",
     "random_permutation_grid",
     "random_zero_one_grid",
+    "random_permutation_mesh",
+    "random_zero_one_mesh",
     "paper_zero_count",
+    "mesh_zero_count",
 ]
 
 SeedLike = int | None | np.random.SeedSequence | np.random.Generator
@@ -129,6 +132,48 @@ def shard_seed_sequence(
     return np.random.SeedSequence(root.entropy, spawn_key=(*root.spawn_key, index))
 
 
+def _check_mesh_shape(shape: tuple[int, int]) -> tuple[int, int]:
+    try:
+        rows, cols = (int(v) for v in shape)
+    except (TypeError, ValueError):
+        raise DimensionError(
+            f"mesh shape must be a (rows, cols) pair, got {shape!r}"
+        ) from None
+    if rows < 1 or cols < 1:
+        raise DimensionError(f"mesh dimensions must be positive, got {shape!r}")
+    return rows, cols
+
+
+def random_permutation_mesh(
+    shape: tuple[int, int],
+    *,
+    batch: int | tuple[int, ...] | None = None,
+    rng: SeedLike = None,
+    dtype: np.dtype | type = np.int64,
+) -> np.ndarray:
+    """Uniformly random permutation(s) of ``0 .. rows*cols - 1`` on a mesh.
+
+    Shape-general form of :func:`random_permutation_grid` — linear
+    topologies draw ``(1, n)`` arrays from it.  Returns
+    ``(rows, cols)`` when ``batch`` is None, else ``(*batch, rows, cols)``.
+    The per-trial RNG consumption is one ``Generator.permutation`` call,
+    identical to the square-grid function, so square draws are
+    byte-identical between the two.
+    """
+    rows, cols = _check_mesh_shape(shape)
+    gen = as_generator(rng)
+    n_cells = rows * cols
+    if batch is None:
+        return gen.permutation(n_cells).reshape(rows, cols).astype(dtype)
+    bshape = (batch,) if isinstance(batch, int) else tuple(batch)
+    total = int(np.prod(bshape)) if bshape else 1
+    out = np.empty((total, n_cells), dtype=dtype)
+    base = np.arange(n_cells, dtype=dtype)
+    for i in range(total):
+        out[i] = gen.permutation(base)
+    return out.reshape(*bshape, rows, cols)
+
+
 def random_permutation_grid(
     side: int,
     *,
@@ -143,17 +188,9 @@ def random_permutation_grid(
     """
     if side < 1:
         raise DimensionError(f"side must be positive, got {side}")
-    gen = as_generator(rng)
-    n_cells = side * side
-    if batch is None:
-        return gen.permutation(n_cells).reshape(side, side).astype(dtype)
-    shape = (batch,) if isinstance(batch, int) else tuple(batch)
-    total = int(np.prod(shape)) if shape else 1
-    out = np.empty((total, n_cells), dtype=dtype)
-    base = np.arange(n_cells, dtype=dtype)
-    for i in range(total):
-        out[i] = gen.permutation(base)
-    return out.reshape(*shape, side, side)
+    return random_permutation_mesh(
+        (side, side), batch=batch, rng=rng, dtype=dtype
+    )
 
 
 def paper_zero_count(side: int) -> int:
@@ -167,6 +204,50 @@ def paper_zero_count(side: int) -> int:
         raise DimensionError(f"side must be positive, got {side}")
     n_cells = side * side
     return n_cells // 2 if side % 2 == 0 else (n_cells + 1) // 2
+
+
+def mesh_zero_count(n_cells: int) -> int:
+    """Zero count for a threshold matrix on any ``n_cells``-cell mesh.
+
+    ``ceil(n_cells / 2)``: reduces to :func:`paper_zero_count` for square
+    meshes of either parity (even side ``2n`` has an even cell count, odd
+    side the appendix's ``(N+1)/2``), and gives linear arrays the matching
+    half-zeroes convention.
+    """
+    if n_cells < 1:
+        raise DimensionError(f"cell count must be positive, got {n_cells}")
+    return (n_cells + 1) // 2
+
+
+def random_zero_one_mesh(
+    shape: tuple[int, int],
+    *,
+    zeros: int | None = None,
+    batch: int | tuple[int, ...] | None = None,
+    rng: SeedLike = None,
+    dtype: np.dtype | type = np.int8,
+) -> np.ndarray:
+    """Uniformly random 0-1 meshes with exactly ``zeros`` zeroes.
+
+    Shape-general form of :func:`random_zero_one_grid`; ``zeros`` defaults
+    to :func:`mesh_zero_count`.
+    """
+    rows, cols = _check_mesh_shape(shape)
+    n_cells = rows * cols
+    if zeros is None:
+        zeros = mesh_zero_count(n_cells)
+    if not 0 <= zeros <= n_cells:
+        raise DimensionError(f"zeros={zeros} out of range for {n_cells} cells")
+    gen = as_generator(rng)
+    bshape = () if batch is None else ((batch,) if isinstance(batch, int) else tuple(batch))
+    total = int(np.prod(bshape)) if bshape else 1
+    out = np.ones((total, n_cells), dtype=dtype)
+    base = np.concatenate(
+        [np.zeros(zeros, dtype=dtype), np.ones(n_cells - zeros, dtype=dtype)]
+    )
+    for i in range(total):
+        out[i] = gen.permutation(base)
+    return out.reshape(*bshape, rows, cols)
 
 
 def random_zero_one_grid(
@@ -184,18 +265,6 @@ def random_zero_one_grid(
     """
     if side < 1:
         raise DimensionError(f"side must be positive, got {side}")
-    n_cells = side * side
-    if zeros is None:
-        zeros = paper_zero_count(side)
-    if not 0 <= zeros <= n_cells:
-        raise DimensionError(f"zeros={zeros} out of range for {n_cells} cells")
-    gen = as_generator(rng)
-    shape = () if batch is None else ((batch,) if isinstance(batch, int) else tuple(batch))
-    total = int(np.prod(shape)) if shape else 1
-    out = np.ones((total, n_cells), dtype=dtype)
-    base = np.concatenate(
-        [np.zeros(zeros, dtype=dtype), np.ones(n_cells - zeros, dtype=dtype)]
+    return random_zero_one_mesh(
+        (side, side), zeros=zeros, batch=batch, rng=rng, dtype=dtype
     )
-    for i in range(total):
-        out[i] = gen.permutation(base)
-    return out.reshape(*shape, side, side)

@@ -1,0 +1,34 @@
+"""Registry families for the paper's five bubble sorting algorithms.
+
+These wrap the builders of :mod:`repro.core.algorithms` unchanged: the
+schedules a family produces are identical — same name, same step cycle —
+to what ``get_algorithm`` returned before the registry existed, so every
+historical campaign fingerprint and compile-cache key still means the same
+thing.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithms import ALGORITHMS, ROW_MAJOR_NAMES
+from repro.schedules.registry import ScheduleFamily
+
+__all__ = ["PAPER_FAMILIES"]
+
+_DESCRIPTIONS = {
+    "row_major_row_first": "first row-major algorithm (row sort first, wrap-around wires)",
+    "row_major_col_first": "second row-major algorithm (column sort first, wrap-around wires)",
+    "snake_1": "first snakelike algorithm",
+    "snake_2": "second snakelike algorithm (column steps split by parity)",
+    "snake_3": "third snakelike algorithm (uniform row transposition parity)",
+}
+
+PAPER_FAMILIES: tuple[ScheduleFamily, ...] = tuple(
+    ScheduleFamily(
+        name=name,
+        builder=builder,
+        topology="square",
+        requires_even_side=name in ROW_MAJOR_NAMES,
+        description=_DESCRIPTIONS[name],
+    )
+    for name, builder in ALGORITHMS.items()
+)

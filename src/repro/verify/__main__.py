@@ -21,8 +21,8 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.core.algorithms import ALGORITHM_NAMES
 from repro.errors import DimensionError
+from repro.schedules import available_families
 from repro.obs.manifest import RunManifest, table_digest, write_manifest
 from repro.obs.metrics import MetricsRegistry
 from repro.verify.runner import VerifyConfig, run_verify
@@ -47,7 +47,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--algorithms", nargs="+", metavar="NAME", default=None,
-        help=f"algorithms to verify (default: all of {', '.join(ALGORITHM_NAMES)})",
+        help="schedule families to verify — bare names or specs like "
+             "'random_network[side=8,seed=3]' "
+             f"(default: all of {', '.join(available_families())})",
     )
     parser.add_argument(
         "--backends", nargs="+", metavar="NAME", default=None,
@@ -90,7 +92,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         config = VerifyConfig(
             budget=budget,
-            algorithms=tuple(args.algorithms) if args.algorithms else ALGORITHM_NAMES,
+            algorithms=tuple(args.algorithms) if args.algorithms
+            else available_families(),
             backends=tuple(args.backends) if args.backends else None,
             seed=args.seed,
             corpus_dir=corpus_dir,

@@ -20,7 +20,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.backends import available_backends, iter_run, run_sort, step_cap
+from repro.backends import available_backends, get_backend, iter_run, run_sort
+from repro.backends.base import resolve_step_cap
 from repro.core.runner import resolve_algorithm
 from repro.core.schedule import Schedule
 from repro.errors import DimensionError
@@ -104,24 +105,40 @@ def differential_run(
 
     The input grid is never modified.  Observers are suppressed for the
     comparison runs so ambient tracing does not see duplicate events.
+
+    Grids may be square (``side × side``) or linear (``1 × N`` — the
+    registry's linear topology).  For linear grids the default backend set
+    is filtered to the rect-capable backends, and the default reference is
+    ``"rect"``.
     """
     grid = np.asarray(grid)
-    if grid.ndim != 2 or grid.shape[0] != grid.shape[1]:
+    if grid.ndim != 2 or (grid.shape[0] != grid.shape[1] and grid.shape[0] != 1):
         raise DimensionError(
-            f"differential_run takes one square grid, got shape {grid.shape}"
+            f"differential_run takes one square or 1xN grid, got shape {grid.shape}"
         )
-    side = int(grid.shape[0])
-    schedule = resolve_algorithm(algorithm)
-    names = tuple(backends) if backends is not None else tuple(available_backends())
+    rows, cols = (int(v) for v in grid.shape)
+    linear = rows == 1
+    side = cols if linear else rows
+    schedule = resolve_algorithm(algorithm, side)
+    if backends is not None:
+        names = tuple(backends)
+    else:
+        names = tuple(
+            name
+            for name in available_backends()
+            if not linear or get_backend(name).supports_rect
+        )
     if not names:
         raise DimensionError("no backends to cross-check")
-    ref = reference if reference is not None else (
-        "vectorized" if "vectorized" in names else names[0]
-    )
+    if reference is not None:
+        ref = reference
+    else:
+        default_ref = "rect" if linear else "vectorized"
+        ref = default_ref if default_ref in names else names[0]
     if ref not in names:
         names = (ref, *names)
     if max_steps is None:
-        max_steps = step_cap(side)
+        max_steps = resolve_step_cap(schedule, rows, cols)
 
     report = DifferentialReport(algorithm=schedule.name, side=side, backends=names)
 

@@ -31,16 +31,29 @@ from repro.core.orders import target_grid
 from repro.errors import DimensionError
 from repro.randomness import (
     as_generator,
+    mesh_zero_count,
     paper_zero_count,
     random_permutation_grid,
+    random_permutation_mesh,
     random_zero_one_grid,
+    random_zero_one_mesh,
     shard_seed_sequence,
 )
 
-__all__ = ["InputCase", "generate_cases", "sorted_target", "reversed_grid"]
+__all__ = [
+    "InputCase",
+    "generate_cases",
+    "generate_linear_cases",
+    "sorted_target",
+    "reversed_grid",
+]
 
 #: Stable per-family child-stream indices (appending families keeps old draws).
 _FAMILY_STREAM = {"permutation": 0, "zero_one": 1, "near_sorted": 2}
+
+#: Seed-key discriminator for linear draws, so a 1 x N array and an N x N
+#: square never share a stream even at equal ``(seed, side)``.
+_LINEAR_KEY = 1
 
 
 @dataclass(frozen=True)
@@ -72,6 +85,11 @@ def reversed_grid(side: int, order: str) -> np.ndarray:
 def _family_rng(seed: int, side: int, family: str):
     stream = _FAMILY_STREAM[family]
     return as_generator(shard_seed_sequence((seed, side), stream))
+
+
+def _linear_family_rng(seed: int, length: int, family: str):
+    stream = _FAMILY_STREAM[family]
+    return as_generator(shard_seed_sequence((seed, length, _LINEAR_KEY), stream))
 
 
 def generate_cases(
@@ -139,4 +157,70 @@ def generate_cases(
         cases.append(
             InputCase(f"near-sorted-{i}", "near_sorted", grid.reshape(side, side))
         )
+    return cases
+
+
+def generate_linear_cases(
+    length: int,
+    *,
+    seed: int = 0,
+    permutations: int = 2,
+    zero_ones: int = 2,
+    near_sorted: int = 2,
+    adversarial: bool = True,
+) -> list[InputCase]:
+    """The deterministic case list for one linear (``1 × length``) cell.
+
+    The linear-topology sibling of :func:`generate_cases`, for registry
+    families that sort ``1 × N`` arrays (``odd_even``, the random sorting
+    networks).  Same four input families, with the 2-D structured cases
+    replaced by their 1-D analogues: the reversed array, the alternating
+    0-1 pattern, and the zeroes-packed-at-the-end block.  Draws are keyed
+    on ``(seed, length)`` in streams disjoint from the square generator's.
+    """
+    if length < 2:
+        raise DimensionError(f"verification needs length >= 2, got {length}")
+    shape = (1, int(length))
+    cases: list[InputCase] = []
+
+    rng = _linear_family_rng(seed, length, "permutation")
+    for i in range(permutations):
+        cases.append(
+            InputCase(
+                f"perm-{i}", "permutation", random_permutation_mesh(shape, rng=rng)
+            )
+        )
+
+    rng = _linear_family_rng(seed, length, "zero_one")
+    for i in range(zero_ones):
+        cases.append(
+            InputCase(
+                f"zero-one-{i}", "zero_one", random_zero_one_mesh(shape, rng=rng)
+            )
+        )
+
+    if adversarial:
+        cases.append(
+            InputCase(
+                "reversed",
+                "adversarial",
+                np.arange(length - 1, -1, -1, dtype=np.int64).reshape(shape),
+            )
+        )
+        # Alternating 0-1 has exactly the mesh zero count, so it sits inside
+        # the A^01 distribution's support; the packed block maximizes travel.
+        alternating = (np.arange(length) % 2).astype(np.int8)
+        cases.append(InputCase("alternating", "adversarial", alternating.reshape(shape)))
+        zeros = mesh_zero_count(length)
+        block = np.ones(length, dtype=np.int8)
+        block[-zeros:] = 0
+        cases.append(InputCase("anti-block", "adversarial", block.reshape(shape)))
+
+    rng = _linear_family_rng(seed, length, "near_sorted")
+    for i in range(near_sorted):
+        grid = np.arange(length, dtype=np.int64)
+        for _ in range(max(1, length // 2)):
+            j = int(rng.integers(0, length - 1))
+            grid[j], grid[j + 1] = grid[j + 1], grid[j]
+        cases.append(InputCase(f"near-sorted-{i}", "near_sorted", grid.reshape(shape)))
     return cases

@@ -33,13 +33,15 @@ from typing import Callable
 
 import numpy as np
 
-from repro.backends import get_backend, run_sort, step_cap
+from repro.backends import get_backend, run_sort
+from repro.backends.base import resolve_step_cap
 from repro.core.runner import resolve_algorithm
 from repro.core.schedule import LineOp, Schedule
 from repro.errors import DimensionError
 from repro.obs.context import no_observer
 from repro.randomness import as_generator, as_seed_sequence
 from repro.obs.events import Observer, RunEnd, RunStart, StepEvent
+from repro.schedules import execution_backend
 from repro.zeroone.invariants import (
     check_lemma1_column_sort,
     check_lemma2_odd_row_sort,
@@ -47,7 +49,7 @@ from repro.zeroone.invariants import (
     check_lemma10,
     check_lemmas_5_to_8,
 )
-from repro.zeroone.threshold import is_zero_one, threshold_at
+from repro.zeroone.threshold import is_zero_one
 
 __all__ = [
     "check_threshold_consistency",
@@ -56,6 +58,37 @@ __all__ = [
     "InvariantObserver",
     "run_with_invariants",
 ]
+
+
+def _mesh_dims(grid: np.ndarray, what: str) -> tuple[int, int, int]:
+    """Validate an unbatched square or ``1 × N`` grid → (rows, cols, side).
+
+    ``side`` is the registry's notion: the row count on squares, the array
+    length on linear (``1 × N``) meshes — exactly what
+    :func:`repro.core.runner.resolve_algorithm` needs to resolve sided
+    families against this grid.
+    """
+    if grid.ndim != 2 or (grid.shape[0] != grid.shape[1] and grid.shape[0] != 1):
+        raise DimensionError(
+            f"{what} takes one unbatched square or 1xN grid, "
+            f"got shape {grid.shape}"
+        )
+    rows, cols = (int(v) for v in grid.shape)
+    return rows, cols, cols if rows == 1 else rows
+
+
+def _threshold(grid: np.ndarray, zeros: int) -> np.ndarray:
+    """Rank-threshold projection for any mesh shape.
+
+    Same semantics as :func:`repro.zeroone.threshold.threshold_at` (0 at
+    the positions of the ``zeros`` smallest entries) without that helper's
+    square-grid validation, so linear ``1 × N`` grids project too.
+    """
+    arr = np.asarray(grid)
+    if zeros == 0:
+        return np.ones_like(arr, dtype=np.int8)
+    kth = np.sort(arr.reshape(-1))[zeros - 1]
+    return (arr > kth).astype(np.int8)
 
 
 def _sorting_times(
@@ -85,7 +118,7 @@ def check_threshold_consistency(
     algorithm: str | Schedule,
     grid: np.ndarray,
     *,
-    backend: str = "vectorized",
+    backend: str | None = None,
     thresholds: list[int] | None = None,
     max_steps: int | None = None,
 ) -> list[str]:
@@ -96,18 +129,20 @@ def check_threshold_consistency(
     of the sorted permutation afterwards, and — when all ``N-1`` thresholds
     are checked — (c) the slowest projection must take *exactly* ``t_f``
     steps.
+
+    Accepts square and linear (``1 × N``) grids; ``backend=None`` picks
+    the schedule's default execution backend.
     """
     grid = np.asarray(grid)
-    if grid.ndim != 2:
-        raise DimensionError("threshold consistency takes one unbatched grid")
-    side = int(grid.shape[0])
-    n_cells = side * side
+    rows, cols, side = _mesh_dims(grid, "threshold consistency")
+    n_cells = rows * cols
     if len(np.unique(grid)) != n_cells:
         raise DimensionError("threshold consistency needs distinct entries")
-    if max_steps is None:
-        max_steps = step_cap(side)
 
-    schedule = resolve_algorithm(algorithm)
+    schedule = resolve_algorithm(algorithm, side)
+    backend = execution_backend(schedule, backend)
+    if max_steps is None:
+        max_steps = resolve_step_cap(schedule, rows, cols)
     perm_steps, perm_done, perm_final = _sorting_times(
         schedule, grid[None], backend, max_steps
     )
@@ -121,7 +156,7 @@ def check_threshold_consistency(
     if any(z < 1 or z >= n_cells for z in zs):
         raise DimensionError(f"thresholds must lie in 1..{n_cells - 1}")
 
-    projected = np.stack([threshold_at(grid, z) for z in zs])
+    projected = np.stack([_threshold(grid, z) for z in zs])
     steps, completed, finals = _sorting_times(schedule, projected, backend, max_steps)
     for z, z_steps, z_done, z_final in zip(zs, steps, completed, finals):
         if not bool(z_done):
@@ -131,7 +166,7 @@ def check_threshold_consistency(
             violations.append(
                 f"threshold z={z} took {int(z_steps)} steps > permutation's {t_f}"
             )
-        expected = threshold_at(perm_final[0], int(z))
+        expected = _threshold(perm_final[0], int(z))
         if not np.array_equal(z_final, expected):
             violations.append(
                 f"threshold z={z}: sorted projection differs from projected sort"
@@ -162,7 +197,7 @@ def check_relabeling_invariance(
     algorithm: str | Schedule,
     grid: np.ndarray,
     *,
-    backend: str = "vectorized",
+    backend: str | None = None,
     seed: int = 0,
     max_steps: int | None = None,
 ) -> list[str]:
@@ -172,18 +207,19 @@ def check_relabeling_invariance(
     The relabeled run must take exactly the same number of steps, and its
     final grid must be the relabeling of the original final grid.  Requires
     a permutation grid of ``0..N-1`` (the relabeling tables index by rank).
+    Accepts square and linear (``1 × N``) grids; ``backend=None`` picks
+    the schedule's default execution backend.
     """
     grid = np.asarray(grid)
-    if grid.ndim != 2:
-        raise DimensionError("relabeling invariance takes one unbatched grid")
-    side = int(grid.shape[0])
-    n_cells = side * side
+    rows, cols, side = _mesh_dims(grid, "relabeling invariance")
+    n_cells = rows * cols
     if sorted(grid.reshape(-1).tolist()) != list(range(n_cells)):
         raise DimensionError("relabeling invariance needs a 0..N-1 permutation grid")
-    if max_steps is None:
-        max_steps = step_cap(side)
 
-    schedule = resolve_algorithm(algorithm)
+    schedule = resolve_algorithm(algorithm, side)
+    backend = execution_backend(schedule, backend)
+    if max_steps is None:
+        max_steps = resolve_step_cap(schedule, rows, cols)
     base_steps, base_done, base_final = _sorting_times(
         schedule, grid[None], backend, max_steps
     )
@@ -352,15 +388,18 @@ def run_with_invariants(
     algorithm: str | Schedule,
     grid: np.ndarray,
     *,
-    backend: str = "vectorized",
+    backend: str | None = None,
     max_steps: int | None = None,
 ) -> list[str]:
     """Sort one 0-1 grid with an :class:`InvariantObserver` attached and
-    return the lemma violations it observed (empty when all hold)."""
+    return the lemma violations it observed (empty when all hold).
+
+    ``backend=None`` picks the schedule's default execution backend."""
     grid = np.asarray(grid)
     if not is_zero_one(grid):
         raise DimensionError("run_with_invariants takes a 0-1 grid")
+    schedule = resolve_algorithm(algorithm, int(np.asarray(grid).shape[-1]))
     observer = InvariantObserver(initial_grid=grid)
-    run_sort(backend, resolve_algorithm(algorithm), grid, max_steps=max_steps,
-             observer=observer)
+    run_sort(execution_backend(schedule, backend), schedule, grid,
+             max_steps=max_steps, observer=observer)
     return observer.violations

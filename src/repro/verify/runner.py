@@ -32,15 +32,21 @@ from pathlib import Path
 import numpy as np
 
 from repro.analysis.schedule_check import check_schedule
-from repro.backends import available_backends
-from repro.core.algorithms import ALGORITHM_NAMES, get_algorithm
+from repro.backends import available_backends, get_backend
 from repro.errors import DimensionError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.timing import StopWatch
-from repro.randomness import paper_zero_count
+from repro.randomness import mesh_zero_count
+from repro.schedules import (
+    available_families,
+    build_schedule,
+    get_family,
+    mesh_shape,
+    parse_spec,
+)
 from repro.verify.corpus import Reproducer, load_corpus, replay_reproducer, save_reproducer
 from repro.verify.differential import differential_run
-from repro.verify.inputs import generate_cases
+from repro.verify.inputs import generate_cases, generate_linear_cases
 from repro.verify.metamorphic import (
     check_relabeling_invariance,
     check_threshold_consistency,
@@ -78,7 +84,7 @@ class VerifyConfig:
     """One verification sweep's shape."""
 
     budget: str = "smoke"
-    algorithms: tuple[str, ...] = ALGORITHM_NAMES
+    algorithms: tuple[str, ...] = field(default_factory=available_families)
     backends: tuple[str, ...] | None = None  # None = every registered backend
     seed: int = 0
     corpus_dir: str | Path | None = None  # replay these reproducers
@@ -91,12 +97,10 @@ class VerifyConfig:
             raise DimensionError(
                 f"budget must be one of {', '.join(BUDGETS)}, got {self.budget!r}"
             )
-        unknown = set(self.algorithms) - set(ALGORITHM_NAMES)
-        if unknown:
-            raise DimensionError(
-                f"unknown algorithms {sorted(unknown)}; known: "
-                f"{', '.join(ALGORITHM_NAMES)}"
-            )
+        for name in self.algorithms:
+            # Family names and bracketed specs both validate; unknown names
+            # raise UnknownScheduleError listing the registered families.
+            get_family(parse_spec(name)[0])
         names = available_backends()
         if self.backends is not None:
             missing = set(self.backends) - set(names)
@@ -110,10 +114,18 @@ class VerifyConfig:
         return tuple(self.backends) if self.backends else tuple(available_backends())
 
     def sides_for(self, algorithm: str) -> tuple[int, ...]:
-        """Budgeted sides, honouring ``requires_even_side``."""
-        schedule = get_algorithm(algorithm)
+        """Budgeted sides, honouring ``requires_even_side``.
+
+        A spec that pins its own side (``"shearsort[side=8]"``) sweeps just
+        that side — the budget's list would silently rebuild the same
+        pinned instance against differently sized inputs.
+        """
+        base, params = parse_spec(algorithm)
+        family = get_family(base)
+        if "side" in params:
+            return (int(params["side"]),)
         sides = BUDGETS[self.budget]["sides"]
-        if schedule.requires_even_side:
+        if family.requires_even_side:
             sides = tuple(s for s in sides if s % 2 == 0)
         return sides
 
@@ -211,13 +223,12 @@ class VerifyReport:
         return table
 
 
-def _threshold_subset(side: int, cap: int | None) -> list[int] | None:
+def _threshold_subset(n_cells: int, cap: int | None) -> list[int] | None:
     """A small, spread set of z values for the smoke budget (None = full)."""
     if cap is None:
         return None
-    n_cells = side * side
-    picks = {1, n_cells // 4, paper_zero_count(side), n_cells - 1}
-    return sorted(picks)[:cap]
+    picks = {1, n_cells // 4, mesh_zero_count(n_cells), n_cells - 1}
+    return sorted(p for p in picks if 1 <= p < n_cells)[:cap]
 
 
 def _record(
@@ -265,6 +276,9 @@ def _shrink_failure(
     """Minimize a failing grid and optionally persist the reproducer."""
     if not config.shrink:
         return
+    grid = np.asarray(grid)
+    if grid.ndim != 2 or grid.shape[0] != grid.shape[1]:
+        return  # the shrinker's side-reduction machinery is square-only
     try:
         result = shrink_case(
             fails, grid, order=order, max_evaluations=config.max_shrink_evaluations
@@ -303,17 +317,29 @@ def run_verify(
 
     with metrics.seconds.time():
         for name in config.algorithms:
-            schedule = get_algorithm(name)
             for side in config.sides_for(name):
-                cases = generate_cases(
-                    side,
-                    schedule.order,
-                    seed=config.seed,
-                    permutations=budget["permutations"],
-                    zero_ones=budget["zero_ones"],
-                    near_sorted=budget["near_sorted"],
+                schedule = build_schedule(name, side, seed=config.seed)
+                rows, cols = mesh_shape(schedule, side)
+                if rows == cols:
+                    cases = generate_cases(
+                        side,
+                        schedule.order,
+                        seed=config.seed,
+                        permutations=budget["permutations"],
+                        zero_ones=budget["zero_ones"],
+                        near_sorted=budget["near_sorted"],
+                    )
+                else:
+                    cases = generate_linear_cases(
+                        cols,
+                        seed=config.seed,
+                        permutations=budget["permutations"],
+                        zero_ones=budget["zero_ones"],
+                        near_sorted=budget["near_sorted"],
+                    )
+                _verify_cell(
+                    config, metrics, report, schedule, side, (rows, cols), cases
                 )
-                _verify_cell(config, metrics, report, name, schedule, side, cases)
 
         if config.corpus_dir is not None:
             for rep in load_corpus(config.corpus_dir):
@@ -339,20 +365,31 @@ def _verify_cell(
     config: VerifyConfig,
     metrics: _VerifyMetrics,
     report: VerifyReport,
-    name: str,
     schedule,
     side: int,
+    shape: tuple[int, int],
     cases,
 ) -> None:
-    """All properties for one (algorithm, side) cell."""
+    """All properties for one (family instance, side) cell.
+
+    ``schedule`` is the concrete registry-built instance; its name (which
+    bakes in any generator parameters and seed) labels every record.
+    """
+    rows, cols = shape
+    name = schedule.name
+    square = rows == cols
     backends = config.resolved_backends
+    if not square:
+        backends = tuple(b for b in backends if get_backend(b).supports_rect)
+        if not backends:
+            return  # the chosen backends cannot execute this topology
     budget = BUDGETS[config.budget]
-    n_cells = side * side
+    n_cells = rows * cols
 
     # Static: the schedule-shape verifier, before any comparator runs.
     # A clean report also certifies obliviousness, which is what licenses
     # the 0-1-principle-based metamorphic checks below.
-    static = check_schedule(schedule, side)
+    static = check_schedule(schedule, rows, cols)
     _record(
         report,
         metrics,
@@ -365,9 +402,9 @@ def _verify_cell(
         ),
     )
 
-    # Differential: every case through every backend.
+    # Differential: every case through every (topology-capable) backend.
     for case in cases:
-        diff = differential_run(name, case.grid, backends=backends)
+        diff = differential_run(schedule, case.grid, backends=backends)
         record = _record(
             report,
             metrics,
@@ -384,7 +421,7 @@ def _verify_cell(
                 config,
                 metrics,
                 record,
-                lambda g: not differential_run(name, g, backends=backends).ok,
+                lambda g: not differential_run(schedule, g, backends=backends).ok,
                 case.grid,
                 schedule.order,
             )
@@ -396,7 +433,7 @@ def _verify_cell(
         if sorted(np.asarray(c.grid).reshape(-1).tolist()) == list(range(n_cells))
     ]
     cap = budget["metamorphic_cases"]
-    zs = _threshold_subset(side, budget["thresholds_cap"])
+    zs = _threshold_subset(n_cells, budget["thresholds_cap"])
     for case in perms if cap is None else perms[:cap]:
         record = _record(
             report,
@@ -406,7 +443,9 @@ def _verify_cell(
                 algorithm=name,
                 side=side,
                 case=case.name,
-                violations=check_threshold_consistency(name, case.grid, thresholds=zs),
+                violations=check_threshold_consistency(
+                    schedule, case.grid, thresholds=zs
+                ),
             ),
         )
         if not record.ok:
@@ -414,7 +453,9 @@ def _verify_cell(
                 config,
                 metrics,
                 record,
-                lambda g: bool(check_threshold_consistency(name, g, thresholds=zs)),
+                lambda g: bool(
+                    check_threshold_consistency(schedule, g, thresholds=zs)
+                ),
                 case.grid,
                 schedule.order,
             )
@@ -427,7 +468,7 @@ def _verify_cell(
                 side=side,
                 case=case.name,
                 violations=check_relabeling_invariance(
-                    name, case.grid, seed=config.seed
+                    schedule, case.grid, seed=config.seed
                 ),
             ),
         )
@@ -436,12 +477,18 @@ def _verify_cell(
                 config,
                 metrics,
                 record,
-                lambda g: bool(check_relabeling_invariance(name, g, seed=config.seed)),
+                lambda g: bool(
+                    check_relabeling_invariance(schedule, g, seed=config.seed)
+                ),
                 case.grid,
                 schedule.order,
             )
 
-    # Live lemma invariants on every 0-1 case.
+    # Live lemma invariants on every 0-1 case.  The lemmas are statements
+    # about square runs; the observer deactivates on 1 x N meshes, so the
+    # property is only claimed where it can actually be checked.
+    if not square:
+        return
     zero_ones = [
         c for c in cases if set(np.unique(np.asarray(c.grid)).tolist()) <= {0, 1}
     ]
@@ -454,7 +501,7 @@ def _verify_cell(
                 algorithm=name,
                 side=side,
                 case=case.name,
-                violations=run_with_invariants(name, case.grid),
+                violations=run_with_invariants(schedule, case.grid),
             ),
         )
         if not record.ok:
@@ -462,7 +509,7 @@ def _verify_cell(
                 config,
                 metrics,
                 record,
-                lambda g: bool(run_with_invariants(name, g)),
+                lambda g: bool(run_with_invariants(schedule, g)),
                 case.grid,
                 schedule.order,
             )

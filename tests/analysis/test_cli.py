@@ -127,9 +127,9 @@ class TestCompileIntegration:
         assert second.analysis is first.analysis
 
     def test_policy_violations_do_not_block_compilation(self):
-        from repro.baselines.no_wrap import row_major_no_wrap
+        from repro.schedules import build_row_major_no_wrap
 
-        compiled = compiled_schedule(row_major_no_wrap(), 4)
+        compiled = compiled_schedule(build_row_major_no_wrap(), 4)
         assert [v.rule for v in compiled.analysis.violations] == ["SCH005"]
         assert compiled.analysis.oblivious  # executable, paper-noncompliant
 

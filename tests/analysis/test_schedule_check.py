@@ -11,8 +11,7 @@ from repro.analysis.schedule_check import (
     check_schedule,
     op_comparators,
 )
-from repro.baselines.no_wrap import row_major_no_wrap
-from repro.baselines.shearsort import shearsort
+from repro.schedules import build_row_major_no_wrap, build_shearsort
 from repro.core.algorithms import ALGORITHM_NAMES, get_algorithm
 from repro.core.schedule import FORWARD, REVERSE, LineOp, Schedule, Step, WrapOp, comparator_pairs
 from repro.errors import ScheduleValidationError, UnsupportedMeshError
@@ -55,7 +54,7 @@ class TestCleanSchedules:
 
     @pytest.mark.parametrize("side", [2, 4, 5, 7])
     def test_shearsort_baseline_is_clean(self, side):
-        report = check_schedule(shearsort(side), side)
+        report = check_schedule(build_shearsort(side=side), side)
         assert report.ok, report.describe()
 
     @pytest.mark.parametrize("name", ["snake_1", "snake_2", "snake_3"])
@@ -117,7 +116,7 @@ class TestPolicyRules:
         assert report.oblivious  # policy violations keep obliviousness
 
     def test_sch005_row_major_without_wrap(self):
-        report = check_schedule(row_major_no_wrap(), 4)
+        report = check_schedule(build_row_major_no_wrap(), 4)
         assert "SCH005" in rules_of(report)
         assert not report.structural  # still compilable
 
@@ -183,7 +182,7 @@ class TestReportApi:
             assert severity in ("structural", "policy") and summary
 
     def test_describe_and_json_round_trip(self):
-        report = check_schedule(row_major_no_wrap(), 4)
+        report = check_schedule(build_row_major_no_wrap(), 4)
         text = report.describe()
         assert "SCH005" in text and "oblivious=True" in text
         blob = report.to_json()

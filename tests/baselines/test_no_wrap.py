@@ -5,7 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.baselines.no_wrap import row_major_no_wrap, smallest_column_adversary
+from repro.baselines.no_wrap import smallest_column_adversary
+from repro.schedules import build_row_major_no_wrap
 from repro.core.engine import run_fixed_steps, run_until_sorted
 from repro.core.runner import sort_grid
 from repro.errors import DimensionError
@@ -37,7 +38,7 @@ class TestNoWrapNeverSorts:
         side = 6
         adversary = smallest_column_adversary(side)
         zero_one = threshold_matrix(adversary, side)
-        schedule = row_major_no_wrap()
+        schedule = build_row_major_no_wrap()
         zeros_before = column_zeros(zero_one)
         after = run_fixed_steps(schedule, zero_one, 8 * side)
         np.testing.assert_array_equal(column_zeros(after), zeros_before)
@@ -45,7 +46,7 @@ class TestNoWrapNeverSorts:
     def test_never_completes(self):
         side = 6
         adversary = smallest_column_adversary(side)
-        out = run_until_sorted(row_major_no_wrap(), adversary, max_steps=4 * side * side)
+        out = run_until_sorted(build_row_major_no_wrap(), adversary, max_steps=4 * side * side)
         assert not out.all_completed
 
     def test_wired_version_completes_same_input(self):
@@ -58,6 +59,6 @@ class TestNoWrapNeverSorts:
         """The no-wrap schedule is not a sorting network — Section 1's
         argument applies to the adversary; generic inputs may or may not
         sort, but the schedule carries no wrap ops at all."""
-        schedule = row_major_no_wrap()
+        schedule = build_row_major_no_wrap()
         assert not schedule.uses_wraparound
         assert schedule.requires_even_side

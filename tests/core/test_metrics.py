@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.baselines.shearsort import shearsort
+from repro.schedules import build_shearsort
 from repro.core.algorithms import ALGORITHM_NAMES, get_algorithm
 from repro.core.metrics import firings_for_steps, schedule_metrics
 from repro.errors import DimensionError
@@ -74,9 +74,9 @@ class TestWorkRatio:
 
     def test_shearsort_work_smaller(self):
         side = 16
-        m_shear = schedule_metrics(shearsort(side), side)
+        m_shear = schedule_metrics(build_shearsort(side=side), side)
         m_snake = schedule_metrics(get_algorithm("snake_1"), side)
-        from repro.baselines.shearsort import shearsort_step_count
+        from repro.schedules import shearsort_step_count
 
         shear_work = firings_for_steps(m_shear, shearsort_step_count(side))
         snake_work = firings_for_steps(m_snake, side * side)

@@ -82,8 +82,13 @@ class TestRectExecution:
         assert bool(np.all(out.completed))
 
     def test_tiny_rejected(self):
+        # A 1x1 mesh has nothing to compare and is still rejected; 1xN
+        # linear arrays became first-class with the schedule registry's
+        # linear topology and must compile and sort.
         with pytest.raises(UnsupportedMeshError):
-            RectCompiledSchedule(get_algorithm("snake_1"), 1, 4)
+            RectCompiledSchedule(get_algorithm("snake_1"), 1, 1)
+        out = rect_run_until_sorted(get_algorithm("snake_1"), _perm(1, 4, 7))
+        assert bool(np.all(out.completed))
 
     def test_cap(self):
         out = rect_run_until_sorted(get_algorithm("snake_3"), _perm(4, 6, 4), max_steps=1)

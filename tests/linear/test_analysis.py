@@ -14,7 +14,8 @@ from repro.linear.analysis import (
     expected_min_displacement,
     worst_case_upper,
 )
-from repro.linear.odd_even import sort_linear
+from repro.backends import run_sort
+from repro.schedules import build_odd_even
 
 
 class TestBounds:
@@ -42,10 +43,12 @@ class TestBounds:
 class TestBoundsAgainstMeasurement:
     def test_average_dominates_both_lower_bounds(self, rng):
         n = 128
+        schedule = build_odd_even()
         steps = []
         base = np.arange(n)
         for _ in range(40):
-            steps.append(sort_linear(rng.permutation(base)).steps_scalar())
+            out = run_sort("rect", schedule, rng.permutation(base).reshape(1, n))
+            steps.append(int(out.steps[()]))
         mean = float(np.mean(steps))
         assert mean >= float(average_lower_smallest_element(n))
         assert mean >= average_lower_order(n)

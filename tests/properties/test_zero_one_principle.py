@@ -11,7 +11,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.baselines.shearsort import shearsort
+from repro.schedules import build_shearsort
 from repro.core.algorithms import ALGORITHM_NAMES, get_algorithm
 from repro.core.engine import run_fixed_steps, run_until_sorted
 from repro.randomness import random_permutation_grid
@@ -67,7 +67,7 @@ def test_zero_one_time_lower_bounds_permutation_time(name, side, seed):
 @given(side=st.sampled_from([4, 5, 8]), seed=st.integers(0, 2**31), steps=st.integers(1, 20))
 @settings(max_examples=25)
 def test_shearsort_commutes_with_thresholding(side, seed, steps):
-    schedule = shearsort(side)
+    schedule = build_shearsort(side=side)
     grid = random_permutation_grid(side, rng=seed)
     threshold = (seed % (side * side)) + 1
     a = (run_fixed_steps(schedule, grid, steps) >= threshold).astype(np.int8)
