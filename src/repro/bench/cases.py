@@ -13,6 +13,10 @@ Each :class:`BenchCase` names one operation worth tracking over time:
   schedule family (paper algorithms, shearsort, the linear odd-even sort,
   a pinned random network), each on its own topology's default backend
   (side 16 in the smoke suite; 16/32/64 in the full suite);
+* ``service_cache_hit`` / ``service_cache_miss`` — the content-addressed
+  result store through ``sample(..., store=...)``: a warm hit (pure
+  lookup + decode, the zero-kernel-steps path) vs a cold miss (lookup +
+  campaign + put, the store emptied before every timed iteration);
 * ``span_overhead_disabled`` — the module-level :func:`repro.obs.prof.span`
   fast path with **no** profiler installed, pinning the package's
   zero-overhead-when-disabled guarantee to a number.
@@ -152,6 +156,45 @@ def _body_sort(state) -> Any:
     return run_sort(backend, schedule, grid)
 
 
+def _setup_service_store(*, populate: bool) -> Callable[[], Any]:
+    def setup():
+        import tempfile
+
+        from repro.experiments import sample
+        from repro.store import LocalResultStore
+
+        store = LocalResultStore(tempfile.mkdtemp(prefix="repro-bench-store-"))
+        kwargs = {
+            "side": 8,
+            "trials": _TRIALS,
+            "seed": _SEED,
+            "shard_size": 12,
+        }
+        if populate:
+            sample("snake_1", store=store, **kwargs)
+        return store, kwargs
+
+    return setup
+
+
+def _body_service_hit(state) -> Any:
+    from repro.experiments import sample
+
+    store, kwargs = state
+    return sample("snake_1", store=store, **kwargs)
+
+
+def _body_service_miss(state) -> Any:
+    from repro.experiments import sample
+
+    store, kwargs = state
+    # Empty the store first (like the compile-miss case clears its cache)
+    # so every timed iteration pays lookup + campaign + put.
+    for fingerprint in store.fingerprints():
+        store.delete(fingerprint)
+    return sample("snake_1", store=store, **kwargs)
+
+
 def _setup_noop() -> Any:
     return None
 
@@ -246,6 +289,26 @@ def build_cases(suite: str = "smoke") -> list[BenchCase]:
                     meta={"algorithm": algorithm, "side": side},
                 )
             )
+    cases.append(
+        BenchCase(
+            name="service_cache_hit",
+            group="service",
+            setup=_setup_service_store(populate=True),
+            body=_body_service_hit,
+            repeats=10,
+            meta={"trials": _TRIALS, "side": 8, "store": "local"},
+        )
+    )
+    cases.append(
+        BenchCase(
+            name="service_cache_miss",
+            group="service",
+            setup=_setup_service_store(populate=False),
+            body=_body_service_miss,
+            repeats=3,
+            meta={"trials": _TRIALS, "side": 8, "store": "local"},
+        )
+    )
     cases.append(
         BenchCase(
             name="span_overhead_disabled",

@@ -22,6 +22,7 @@ from repro.campaign.checkpoint import (
     ShardRecord,
     checkpoint_path,
 )
+from repro.campaign.execution import ExecutionOptions
 from repro.campaign.result import SampleResult
 from repro.campaign.runner import (
     execute_shard,
@@ -33,6 +34,7 @@ from repro.campaign.spec import KINDS, CampaignSpec, Shard
 __all__ = [
     "KINDS",
     "CampaignSpec",
+    "ExecutionOptions",
     "Shard",
     "ShardRecord",
     "SampleResult",

@@ -122,11 +122,31 @@ class CheckpointStore:
             return {}
         header = self._parse_header(lines[0])
         if header["fingerprint"] != self.spec.fingerprint:
+            spec_identity = self.spec.identity()
+            checkpoint_identity = header.get("identity")
+            conflict = ""
+            if isinstance(checkpoint_identity, dict):
+                differing = sorted(
+                    key
+                    for key in set(spec_identity) | set(checkpoint_identity)
+                    if spec_identity.get(key) != checkpoint_identity.get(key)
+                )
+                if differing:
+                    conflict = f"; differing identity field(s): {', '.join(differing)}"
             raise CheckpointError(
                 f"checkpoint {self.path} was written for campaign "
                 f"{header['fingerprint']}, not {self.spec.fingerprint}; "
                 "it records a different (algorithm, side, trials, seed, ...) "
-                "declaration and cannot be resumed into this one"
+                f"declaration and cannot be resumed into this one{conflict}",
+                path=self.path,
+                spec_fingerprint=self.spec.fingerprint,
+                checkpoint_fingerprint=header["fingerprint"],
+                spec_identity=spec_identity,
+                checkpoint_identity=(
+                    checkpoint_identity
+                    if isinstance(checkpoint_identity, dict)
+                    else None
+                ),
             )
         for lineno, line in enumerate(lines[1:], start=2):
             if not line.strip():

@@ -42,9 +42,10 @@ from typing import Any
 import numpy as np
 
 from repro.campaign.checkpoint import CheckpointStore, ShardRecord, checkpoint_path
+from repro.campaign.execution import ExecutionOptions
 from repro.campaign.result import SampleResult
 from repro.campaign.spec import CampaignSpec, Shard
-from repro.errors import CampaignError, DimensionError
+from repro.errors import CampaignError, DimensionError, StoreError
 from repro.obs.context import no_observer, resolve_observer, use_observer
 from repro.obs.events import CampaignEnd, CampaignStart, Observer, ShardEnd
 from repro.obs.manifest import write_manifest
@@ -134,6 +135,8 @@ def run_campaign(
     observer: Observer | None = None,
     retries: int = 2,
     max_shards: int | None = None,
+    store: Any = None,
+    execution: ExecutionOptions | None = None,
 ) -> SampleResult:
     """Run (or resume) a campaign and return the merged sample.
 
@@ -166,7 +169,43 @@ def run_campaign(
         checkpoint and return a partial (``complete=False``) result.
         Requires ``checkpoint_dir`` — a partial run you cannot resume
         would be wasted work.
+    store:
+        Result store for cache-hit short-circuiting (anything
+        :func:`repro.store.resolve_store` accepts).  A stored entry for
+        ``spec.fingerprint`` is returned without running a single shard —
+        bit-identical to the fresh campaign, because the fingerprint
+        covers exactly the value-determining fields.  On a miss, the
+        completed campaign is written back (partial results are never
+        stored).  ``result.meta["store"]`` records the outcome.
+    execution:
+        A frozen :class:`~repro.campaign.execution.ExecutionOptions`
+        bundling the runtime knobs (``workers``, ``checkpoint_dir``,
+        ``resume``, ``retries``, ``max_shards``, ``store``).  Mutually
+        exclusive with passing those knobs loose.  Its spec-level fields
+        (``backend``, ``shard_size``) are consumed by the
+        :func:`~repro.experiments.sample` facade when *building* the
+        spec, not here.
     """
+    if execution is not None:
+        loose = (
+            workers != 1
+            or checkpoint_dir is not None
+            or resume
+            or retries != 2
+            or max_shards is not None
+            or store is not None
+        )
+        if loose:
+            raise DimensionError(
+                "pass execution knobs either inside ExecutionOptions or as "
+                "loose keywords, not both"
+            )
+        workers = execution.workers
+        checkpoint_dir = execution.checkpoint_dir
+        resume = execution.resume
+        retries = execution.retries
+        max_shards = execution.max_shards
+        store = execution.store
     if workers < 1:
         raise DimensionError(f"workers must be >= 1, got {workers}")
     if retries < 0:
@@ -190,16 +229,44 @@ def run_campaign(
     def pspan(name: str):
         return profiler.span(name) if profiler is not None else nullcontext()
 
+    def ambient_obs():
+        # Store backends report StoreEvents through the *ambient* observer
+        # (they take no observer argument), so an explicitly-passed one is
+        # installed around store calls to keep the event stream complete.
+        return use_observer(obs) if obs is not None else nullcontext()
+
+    result_store = None
+    if store is not None:
+        from repro.store import decode_result, resolve_store
+
+        result_store = resolve_store(store)
+        with ambient_obs(), pspan("store_lookup"):
+            payload = result_store.get(spec.fingerprint)
+        if payload is not None:
+            try:
+                cached = decode_result(payload)
+            except StoreError:
+                # Undecodable despite passing integrity (e.g. a foreign
+                # writer): treat as a miss and recompute.
+                cached = None
+            if cached is not None:
+                cached.meta["store"] = {
+                    "hit": True,
+                    "store": result_store.describe(),
+                    "fingerprint": spec.fingerprint,
+                }
+                return cached
+
     watch = StopWatch().start()
 
-    store: CheckpointStore | None = None
+    ckpt: CheckpointStore | None = None
     records: dict[int, ShardRecord] = {}
     if checkpoint_dir is not None:
-        store = CheckpointStore(checkpoint_path(checkpoint_dir, spec), spec)
+        ckpt = CheckpointStore(checkpoint_path(checkpoint_dir, spec), spec)
         with pspan("checkpoint"):
             if resume:
-                records = store.load_records()
-            store.open(fresh=not resume)
+                records = ckpt.load_records()
+            ckpt.open(fresh=not resume)
     resumed = len(records)
     completed: dict[int, np.ndarray] = {
         index: record.values for index, record in records.items()
@@ -265,9 +332,9 @@ def run_campaign(
             completed[shard.index] = values
             if metrics is not None:
                 shard_metrics[shard.index] = metrics
-            if store is not None:
+            if ckpt is not None:
                 with pspan("checkpoint"):
-                    store.append(
+                    ckpt.append(
                         shard.index, values, elapsed, metrics=metrics, spans=spans
                     )
             if profiler is not None and spans is not None:
@@ -293,8 +360,8 @@ def run_campaign(
                     spec, todo, attempts, retries, workers, finish_shard, collect
                 )
         finally:
-            if store is not None:
-                store.close()
+            if ckpt is not None:
+                ckpt.close()
 
         elapsed = watch.elapsed
         complete = len(completed) == len(plan)
@@ -330,16 +397,37 @@ def run_campaign(
         "resumed_shards": resumed,
         "shard_retries": total_retries,
         "elapsed": elapsed,
-        "checkpoint": str(store.path) if store is not None else None,
+        "checkpoint": str(ckpt.path) if ckpt is not None else None,
     }
     if collect:
         meta["worker_metrics"] = _merged_worker_metrics(shard_metrics, completed)
         if isinstance(campaign_span, Span):
             meta["span_tree"] = campaign_span.as_dict()
     result = SampleResult.from_values(values, meta, complete=complete)
-    if store is not None:
+    if result_store is not None:
+        from repro.store import encode_result
+
+        stored = False
+        if complete:
+            # Encode before annotating meta so the stored payload never
+            # carries the (run-local) "store" outcome key.
+            payload = encode_result(result)
+            with ambient_obs(), pspan("store_put"):
+                result_store.put(
+                    spec.fingerprint,
+                    payload,
+                    manifest=result.to_manifest().as_dict(),
+                )
+            stored = True
+        result.meta["store"] = {
+            "hit": False,
+            "stored": stored,
+            "store": result_store.describe(),
+            "fingerprint": spec.fingerprint,
+        }
+    if ckpt is not None:
         manifest = result.to_manifest()
-        write_manifest(store.path.with_suffix(".manifest.json"), manifest)
+        write_manifest(ckpt.path.with_suffix(".manifest.json"), manifest)
     return result
 
 

@@ -2,9 +2,12 @@
 
 ``repro <subcommand> [args...]`` dispatches to the module-level entry
 points, so ``repro verify --smoke`` is exactly ``python -m repro.verify
---smoke`` and ``repro experiments E-T2`` is ``python -m repro.experiments
-E-T2``.  Installed via ``[project.scripts]`` in ``pyproject.toml``; in a
-source checkout the ``python -m`` forms work without installation.
+--smoke`` and ``repro run E-T2`` runs the experiments CLI (``repro
+experiments`` / ``repro exp`` remain as legacy aliases; ``python -m
+repro.experiments`` still works as a deprecation shim).  ``repro jobs``
+and ``repro serve`` front the campaign job service (see docs/SERVICE.md).
+Installed via ``[project.scripts]`` in ``pyproject.toml``; in a source
+checkout the ``python -m`` forms work without installation.
 
 Every subcommand honours one exit-code contract:
 
@@ -24,8 +27,8 @@ from repro._version import __version__
 __all__ = ["main"]
 
 
-def _run_experiments(argv: list[str]) -> int:
-    from repro.experiments.__main__ import main
+def _run_run(argv: list[str]) -> int:
+    from repro.experiments.cli import main
 
     return main(argv)
 
@@ -48,9 +51,24 @@ def _run_bench(argv: list[str]) -> int:
     return main(argv)
 
 
+def _run_jobs(argv: list[str]) -> int:
+    from repro.service.cli import jobs_main
+
+    return jobs_main(argv)
+
+
+def _run_serve(argv: list[str]) -> int:
+    from repro.service.cli import serve_main
+
+    return serve_main(argv)
+
+
 _SUBCOMMANDS: dict[str, tuple[Callable[[list[str]], int], str]] = {
-    "experiments": (_run_experiments, "run paper experiments (alias: exp)"),
-    "exp": (_run_experiments, "alias for 'experiments'"),
+    "run": (_run_run, "run paper experiments or one direct sample"),
+    "experiments": (_run_run, "legacy alias for 'run'"),
+    "exp": (_run_run, "legacy alias for 'run'"),
+    "jobs": (_run_jobs, "submit and inspect durable campaign jobs"),
+    "serve": (_run_serve, "drain pending jobs through the campaign service"),
     "verify": (_run_verify, "differential + metamorphic backend verification"),
     "analyze": (_run_analyze, "static analysis: domain lint + schedule verifier"),
     "bench": (_run_bench, "curated benchmark suite + regression gating"),

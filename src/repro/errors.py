@@ -17,6 +17,8 @@ __all__ = [
     "MissingWireError",
     "CampaignError",
     "CheckpointError",
+    "StoreError",
+    "ServiceError",
     "AnalysisError",
     "BenchmarkError",
 ]
@@ -109,7 +111,75 @@ class CheckpointError(ReproError, RuntimeError):
     campaign spec being resumed (the stored shards were produced by a
     different (algorithm, side, trials, seed, ...) declaration and must
     not be merged), or when the header itself is corrupt.
+
+    Fingerprint mismatches carry the conflict in structured form so the
+    service layer can report actionable diagnostics instead of parsing
+    the message:
+
+    Attributes
+    ----------
+    path:
+        The offending checkpoint file, or ``None`` for errors not tied to
+        a file on disk.
+    spec_fingerprint / checkpoint_fingerprint:
+        The fingerprint of the campaign being resumed vs the one recorded
+        in the file header (``None`` unless the error is a mismatch).
+    spec_identity / checkpoint_identity:
+        The corresponding :meth:`~repro.campaign.spec.CampaignSpec.identity`
+        mappings, when available — the field-level diff is what makes a
+        conflict actionable.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: object = None,
+        spec_fingerprint: str | None = None,
+        checkpoint_fingerprint: str | None = None,
+        spec_identity: dict | None = None,
+        checkpoint_identity: dict | None = None,
+    ) -> None:
+        self.path = path
+        self.spec_fingerprint = spec_fingerprint
+        self.checkpoint_fingerprint = checkpoint_fingerprint
+        self.spec_identity = spec_identity
+        self.checkpoint_identity = checkpoint_identity
+        super().__init__(message)
+
+
+class StoreError(ReproError, RuntimeError):
+    """A result-store operation failed (unusable root, undecodable entry, ...).
+
+    Raised by :mod:`repro.store` for problems with the store itself — an
+    unwritable root directory, an unregistered store scheme, an entry that
+    cannot be serialized.  A *corrupted* stored payload is never raised:
+    integrity failures are treated as cache misses (the entry is
+    quarantined) so a damaged cache degrades to recomputation, not errors.
+    """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """An asynchronous campaign job could not be completed.
+
+    Raised by :class:`repro.service.CampaignService` when fetching the
+    result of a job whose underlying campaign failed, or for requests
+    about unknown job ids.
+
+    Attributes
+    ----------
+    job_id:
+        The job the error concerns (``""`` when no job was created).
+    fingerprint:
+        The campaign fingerprint of the failed job, when known.
+    """
+
+    def __init__(
+        self, message: str, *, job_id: str = "", fingerprint: str = ""
+    ) -> None:
+        self.job_id = job_id
+        self.fingerprint = fingerprint
+        super().__init__(message)
 
 
 class AnalysisError(ReproError, ValueError):

@@ -34,7 +34,7 @@ def exp_appendix_average(cfg: ExperimentConfig) -> Table:
         for side in cfg.odd_sides:
             stats = sample(
                 algorithm, side=side, trials=cfg.trials,
-                seed=(cfg.seed, side, 13), **cfg.sampler_kwargs,
+                seed=(cfg.seed, side, 13), execution=cfg.execution,
             ).stats
             n_cells = side * side
             if algorithm in ("snake_1", "snake_2"):

@@ -61,7 +61,7 @@ def average_case_table(
     for side in cfg.even_sides:
         stats = sample(
             algorithm, side=side, trials=cfg.trials,
-            seed=(cfg.seed, side), **cfg.sampler_kwargs,
+            seed=(cfg.seed, side), execution=cfg.execution,
         ).stats
         bound = bound_fn(side)
         n_cells = side * side

@@ -11,6 +11,8 @@ runs to smoke-test the parallel path end to end.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.core.algorithms import ALGORITHM_NAMES
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.sampling import sample
@@ -51,8 +53,7 @@ def exp_campaign(cfg: ExperimentConfig) -> Table:
             side=side,
             trials=cfg.trials,
             seed=(cfg.seed, side, 55),
-            shard_size=_SHARD_SIZE,
-            **cfg.sampler_kwargs,
+            execution=replace(cfg.execution, shard_size=_SHARD_SIZE),
         )
         table.add_row(
             name,

@@ -7,8 +7,10 @@ numbers recorded in EXPERIMENTS.md).  All randomness derives from ``seed``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 
+from repro.campaign.execution import ExecutionOptions
 from repro.errors import DimensionError
 
 __all__ = ["ExperimentConfig"]
@@ -18,10 +20,15 @@ __all__ = ["ExperimentConfig"]
 class ExperimentConfig:
     """Knobs shared by every experiment.
 
-    ``backend`` selects the execution backend for the Monte-Carlo samplers
-    (any name from :func:`repro.backends.available_backends`).  The
-    single-grid backends are orders of magnitude slower than the vectorized
-    default; they exist here for end-to-end cross-validation runs.
+    Execution is carried by one frozen
+    :class:`~repro.campaign.execution.ExecutionOptions` (``execution``);
+    the loose ``backend``/``workers``/``checkpoint_dir``/``resume`` fields
+    remain as a legacy mirror — construct with either, and the other side
+    is synchronized in ``__post_init__``.  ``backend`` selects the
+    execution backend for the Monte-Carlo samplers (any name from
+    :func:`repro.backends.available_backends`).  The single-grid backends
+    are orders of magnitude slower than the vectorized default; they exist
+    here for end-to-end cross-validation runs.
     """
 
     scale: str = "quick"
@@ -30,14 +37,32 @@ class ExperimentConfig:
     workers: int = 1
     checkpoint_dir: str | None = None
     resume: bool = False
+    execution: ExecutionOptions | None = field(default=None)
 
     def __post_init__(self) -> None:
         if self.scale not in ("quick", "full"):
             raise DimensionError(f"scale must be 'quick' or 'full', got {self.scale!r}")
-        if self.workers < 1:
-            raise DimensionError(f"workers must be >= 1, got {self.workers}")
-        if self.resume and self.checkpoint_dir is None:
-            raise DimensionError("resume=True requires checkpoint_dir")
+        if self.execution is None:
+            # Legacy construction path: lift the loose knobs into the
+            # frozen options object (which owns their validation).
+            self.execution = ExecutionOptions(
+                backend=self.backend,
+                workers=self.workers,
+                checkpoint_dir=self.checkpoint_dir,
+                resume=self.resume,
+            )
+        else:
+            # Options-first construction: keep the legacy mirror fields
+            # consistent for code that still reads them.
+            if self.execution.backend is not None:
+                self.backend = self.execution.backend
+            self.workers = self.execution.workers
+            self.checkpoint_dir = (
+                None
+                if self.execution.checkpoint_dir is None
+                else str(self.execution.checkpoint_dir)
+            )
+            self.resume = self.execution.resume
         from repro.backends import available_backends
 
         if self.backend not in available_backends():
@@ -48,18 +73,22 @@ class ExperimentConfig:
 
     @property
     def sampler_kwargs(self) -> dict:
-        """Keyword arguments experiments thread into :func:`repro.experiments.sample`.
+        """Deprecated: pass ``execution=cfg.execution`` to :func:`sample`.
 
-        With the defaults (``workers=1``, no checkpoint dir) this selects the
-        in-process path, so experiment tables stay bit-identical to historical
-        runs; ``--workers N`` / ``--checkpoint-dir`` switch the sweeps to
-        campaign mode.
+        Historically this returned loose ``backend``/``workers``/
+        ``checkpoint_dir`` keywords to splat into the facade; the frozen
+        :class:`~repro.campaign.execution.ExecutionOptions` object carries
+        the same information without the drift-prone splat.  The returned
+        mapping is now ``{"execution": ...}`` so existing ``**`` call
+        sites keep working unchanged during the deprecation window.
         """
-        kwargs: dict = {"backend": self.backend, "workers": self.workers}
-        if self.checkpoint_dir is not None:
-            kwargs["checkpoint_dir"] = self.checkpoint_dir
-            kwargs["resume"] = self.resume
-        return kwargs
+        warnings.warn(
+            "ExperimentConfig.sampler_kwargs is deprecated; pass "
+            "execution=cfg.execution to sample() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {"execution": self.execution}
 
     @property
     def even_sides(self) -> list[int]:

@@ -65,7 +65,7 @@ def exp_exact_tails(cfg: ExperimentConfig) -> Table:
         for side in sides:
             steps = sample(
                 algorithm, side=side, trials=cfg.trials,
-                seed=(cfg.seed, side, 91), **cfg.sampler_kwargs,
+                seed=(cfg.seed, side, 91), execution=cfg.execution,
             ).values
             n_cells = side * side
             empirical = float(np.mean(steps <= float(gamma) * n_cells))
@@ -83,7 +83,7 @@ def exp_exact_tails(cfg: ExperimentConfig) -> Table:
     for side in odd_sides:
         steps = sample(
             "snake_1", side=side, trials=cfg.trials,
-            seed=(cfg.seed, side, 92), **cfg.sampler_kwargs,
+            seed=(cfg.seed, side, 92), execution=cfg.execution,
         ).values
         n_cells = side * side
         empirical = float(np.mean(steps <= float(gamma) * n_cells))

@@ -67,7 +67,7 @@ def exp_constants(cfg: ExperimentConfig) -> Table:
         n_vals, means = [], []
         for side in sides:
             res = sample(name, side=side, trials=cfg.trials,
-                         seed=(cfg.seed, side, 31), **cfg.sampler_kwargs)
+                         seed=(cfg.seed, side, 31), execution=cfg.execution)
             n_vals.append(side * side)
             means.append(res.stats.mean)
         design = np.column_stack([n_vals, np.sqrt(n_vals)])
@@ -96,7 +96,7 @@ def exp_distribution(cfg: ExperimentConfig) -> Table:
     for name in ALGORITHM_NAMES:
         steps = sample(name, side=side, trials=max(cfg.trials, 64),
                        seed=(cfg.seed, side, 32),
-                       **cfg.sampler_kwargs).values / n_cells
+                       execution=cfg.execution).values / n_cells
         q05, q25, q50, q75, q95 = np.quantile(steps, [0.05, 0.25, 0.5, 0.75, 0.95])
         table.add_row(name, side, q05, q25, q50, q75, q95, (q95 - q05) / q50)
     return table

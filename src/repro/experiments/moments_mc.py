@@ -38,7 +38,7 @@ def exp_moments_row_major(cfg: ExperimentConfig) -> Table:
         stats = sample(
             "row_major_row_first", side=side, trials=cfg.moment_trials,
             kind="statistic", statistic=first_column_zeros,
-            seed=(cfg.seed, side, 1), **cfg.sampler_kwargs,
+            seed=(cfg.seed, side, 1), execution=cfg.execution,
         ).stats
         exact = float(moments.e_Z1_row_first(n))
         paper = float(2 * n * moments.e_z1_row_first_paper(n))
@@ -51,7 +51,7 @@ def exp_moments_row_major(cfg: ExperimentConfig) -> Table:
         stats_m = sample(
             "row_major_row_first", side=side, trials=cfg.moment_trials,
             kind="statistic", statistic=m_statistic,
-            seed=(cfg.seed, side, 2), **cfg.sampler_kwargs,
+            seed=(cfg.seed, side, 2), execution=cfg.execution,
         ).stats
         lower = float(moments.e_M_lower_row_first_paper(n))
         table.add_row(
@@ -65,7 +65,7 @@ def exp_moments_row_major(cfg: ExperimentConfig) -> Table:
         stats_cf = sample(
             "row_major_col_first", side=side, trials=cfg.moment_trials,
             kind="statistic", statistic=first_column_zeros, num_steps=2,
-            seed=(cfg.seed, side, 3), **cfg.sampler_kwargs,
+            seed=(cfg.seed, side, 3), execution=cfg.execution,
         ).stats
         exact_cf = float(moments.e_Z1_col_first(n))
         paper_cf = float(n * moments.e_z1_col_first_paper(n))
@@ -87,7 +87,7 @@ def exp_moments_snake(cfg: ExperimentConfig) -> Table:
         stats = sample(
             "snake_1", side=side, trials=cfg.moment_trials,
             kind="statistic", statistic=z1_statistic,
-            seed=(cfg.seed, side, 4), **cfg.sampler_kwargs,
+            seed=(cfg.seed, side, 4), execution=cfg.execution,
         ).stats
         exact = float(moments.e_Z1_0_snake1(side))
         paper = float(moments.e_Z1_0_snake1_paper(side))
@@ -99,7 +99,7 @@ def exp_moments_snake(cfg: ExperimentConfig) -> Table:
         stats_y = sample(
             "snake_2", side=side, trials=cfg.moment_trials,
             kind="statistic", statistic=y1_statistic,
-            seed=(cfg.seed, side, 5), **cfg.sampler_kwargs,
+            seed=(cfg.seed, side, 5), execution=cfg.execution,
         ).stats
         exact_y = float(moments.e_Y1_0_snake2(side))
         paper_y = float(moments.e_Y1_0_snake2_paper(side))
@@ -112,7 +112,7 @@ def exp_moments_snake(cfg: ExperimentConfig) -> Table:
         stats = sample(
             "snake_1", side=side, trials=cfg.moment_trials,
             kind="statistic", statistic=z1_statistic,
-            seed=(cfg.seed, side, 6), **cfg.sampler_kwargs,
+            seed=(cfg.seed, side, 6), execution=cfg.execution,
         ).stats
         exact = float(appendix.e_Z1_0_snake1_odd(side))
         paper = float(appendix.e_Z1_0_snake1_odd_paper(side))
@@ -140,7 +140,7 @@ def exp_moments_variance(cfg: ExperimentConfig) -> Table:
         mc = sample(
             "row_major_row_first", side=side, trials=cfg.moment_trials,
             kind="statistic", statistic=first_column_zeros,
-            seed=(cfg.seed, side, 7), **cfg.sampler_kwargs,
+            seed=(cfg.seed, side, 7), execution=cfg.execution,
         ).values
         var_mc = float(np.var(mc, ddof=1))
         exact = float(moments.var_Z1_row_first(n))
@@ -151,7 +151,7 @@ def exp_moments_variance(cfg: ExperimentConfig) -> Table:
         mc_s = sample(
             "snake_1", side=side, trials=cfg.moment_trials,
             kind="statistic", statistic=z1_statistic,
-            seed=(cfg.seed, side, 8), **cfg.sampler_kwargs,
+            seed=(cfg.seed, side, 8), execution=cfg.execution,
         ).values
         var_s = float(np.var(mc_s, ddof=1))
         exact_s = float(moments.var_Z1_0_snake1(side))

@@ -7,8 +7,8 @@
 * ``workers=1`` with no sharding knobs runs **in-process**, drawing the
   exact same stream as the historical samplers — existing seeds keep
   producing bit-identical values;
-* any of ``workers != 1``, ``shard_size=...`` or ``checkpoint_dir=...``
-  switches to **campaign mode**: the trial budget is cut into
+* any of ``workers != 1``, ``shard_size=...``, ``checkpoint_dir=...`` or
+  ``store=...`` switches to **campaign mode**: the trial budget is cut into
   ``SeedSequence.spawn``-seeded shards, optionally fanned out over a
   process pool and checkpointed for resume.  Campaign samples are
   deterministic in the spec alone (worker count never changes values),
@@ -23,6 +23,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.campaign.execution import ExecutionOptions
 from repro.campaign.result import SampleResult
 from repro.campaign.runner import run_campaign
 from repro.campaign.spec import INPUT_KINDS, KINDS, CampaignSpec
@@ -84,6 +85,8 @@ def sample(
     resume: bool = False,
     retries: int = 2,
     max_shards: int | None = None,
+    store: Any = None,
+    execution: ExecutionOptions | None = None,
 ) -> SampleResult:
     """Draw a Monte-Carlo sample for ``algorithm`` on a ``side``×``side`` grid.
 
@@ -112,6 +115,19 @@ def sample(
         ``checkpoint_dir`` selects campaign mode (``shard_size`` defaults
         to 64 there).  ``observer`` receives campaign-level events in
         campaign mode and per-run events in-process.
+    store:
+        Result store for cache-hit short-circuiting (anything
+        :func:`repro.store.resolve_store` accepts).  Forces campaign
+        mode: the store is keyed by the campaign fingerprint, which
+        describes the sharded draw plan, not the in-process stream.  A
+        repeat call with the same spec returns the stored values
+        bit-identically without running a single kernel step.
+    execution:
+        A frozen :class:`~repro.campaign.execution.ExecutionOptions`
+        bundling ``backend``/``workers``/``shard_size``/
+        ``checkpoint_dir``/``resume``/``store``/``retries``/
+        ``max_shards``.  Mutually exclusive with passing those knobs
+        loose.
 
     Returns
     -------
@@ -119,9 +135,37 @@ def sample(
         Per-trial values, :class:`TrialStats`, and provenance ``meta``
         (``meta["mode"]`` is ``"in-process"`` or ``"campaign"``).
     """
+    if execution is not None:
+        loose = (
+            backend is not None
+            or workers != 1
+            or shard_size is not None
+            or checkpoint_dir is not None
+            or resume
+            or retries != 2
+            or max_shards is not None
+            or store is not None
+        )
+        if loose:
+            raise DimensionError(
+                "pass execution knobs either inside ExecutionOptions or as "
+                "loose keywords, not both"
+            )
+        backend = execution.backend
+        workers = execution.workers
+        shard_size = execution.shard_size
+        checkpoint_dir = execution.checkpoint_dir
+        resume = execution.resume
+        retries = execution.retries
+        max_shards = execution.max_shards
+        store = execution.store
     _validate_request(kind, statistic, trials, input_kind)
     campaign_mode = (
-        workers != 1 or shard_size is not None or checkpoint_dir is not None
+        workers != 1
+        or shard_size is not None
+        or checkpoint_dir is not None
+        or store is not None
+        or max_shards is not None
     )
     if campaign_mode:
         spec = CampaignSpec(
@@ -146,6 +190,7 @@ def sample(
             observer=observer,
             retries=retries,
             max_shards=max_shards,
+            store=store,
         )
 
     # In-process path: the historical single-stream draw, bit-identical to

@@ -44,7 +44,7 @@ def exp_scaling(cfg: ExperimentConfig) -> Table:
         for name in ALGORITHM_NAMES:
             stats = sample(name, side=side, trials=cfg.trials,
                            seed=(cfg.seed, side, 21),
-                           **cfg.sampler_kwargs).stats
+                           execution=cfg.execution).stats
             table.add_row(
                 name, side, n_cells, stats.mean,
                 stats.mean / n_cells, stats.mean / norm_shear,
@@ -52,7 +52,7 @@ def exp_scaling(cfg: ExperimentConfig) -> Table:
             )
         shear_stats = sample(
             "shearsort", side=side, trials=cfg.trials,
-            seed=(cfg.seed, side, 22), **cfg.sampler_kwargs,
+            seed=(cfg.seed, side, 22), execution=cfg.execution,
         ).stats
         table.add_row(
             "shearsort (baseline)", side, n_cells, shear_stats.mean,

@@ -53,7 +53,7 @@ def exp_tails(cfg: ExperimentConfig) -> Table:
         for side in cfg.even_sides:
             steps = sample(
                 algorithm, side=side, trials=cfg.trials,
-                seed=(cfg.seed, side, salt), **cfg.sampler_kwargs,
+                seed=(cfg.seed, side, salt), execution=cfg.execution,
             ).values
             n_cells = side * side
             for gamma in gammas:
@@ -77,7 +77,7 @@ def exp_theorem12_tail(cfg: ExperimentConfig) -> Table:
     for side in cfg.even_sides + cfg.odd_sides:
         steps = sample(
             "snake_3", side=side, trials=cfg.trials,
-            seed=(cfg.seed, side, 12), **cfg.sampler_kwargs,
+            seed=(cfg.seed, side, 12), execution=cfg.execution,
         ).values
         n_cells = side * side
         for delta in (0.25, 0.5, 1.0):

@@ -33,12 +33,14 @@ from repro.obs.events import (
     CampaignStart,
     CompositeObserver,
     CycleEvent,
+    JobUpdate,
     Observer,
     RecordingObserver,
     RunEnd,
     RunStart,
     ShardEnd,
     StepEvent,
+    StoreEvent,
 )
 from repro.obs.manifest import (
     RunManifest,
@@ -87,6 +89,8 @@ __all__ = [
     "CampaignStart",
     "ShardEnd",
     "CampaignEnd",
+    "StoreEvent",
+    "JobUpdate",
     "CompositeObserver",
     "RecordingObserver",
     # context

@@ -41,6 +41,19 @@ level, since its events could not reach the parent's observer anyway):
     a worker failure (``attempts > 1``), or restored from a checkpoint.
 ``on_campaign_end``
     Once per campaign with the completion tally and wall time.
+
+The campaign *service* layer (:mod:`repro.store` / :mod:`repro.service`)
+adds two more event kinds on the same stream:
+
+``on_store_event``
+    One content-addressed result-store operation — a cache ``hit`` or
+    ``miss`` keyed by campaign fingerprint, a ``put`` of a fresh result,
+    an LRU ``evict``, or a ``quarantine`` of a corrupted payload.
+``on_job_update``
+    One async-job state transition (``pending`` → ``running`` →
+    ``done``/``failed``), including whether the job short-circuited on a
+    cache hit or was coalesced onto another in-flight submission of the
+    same fingerprint.
 """
 
 from __future__ import annotations
@@ -58,6 +71,8 @@ __all__ = [
     "CampaignStart",
     "ShardEnd",
     "CampaignEnd",
+    "StoreEvent",
+    "JobUpdate",
     "Observer",
     "CompositeObserver",
     "RecordingObserver",
@@ -194,6 +209,46 @@ class CampaignEnd:
     complete: bool = True
 
 
+#: The result-store operations a :class:`StoreEvent` can report.
+STORE_OPS = ("hit", "miss", "put", "evict", "quarantine")
+
+
+@dataclass(frozen=True)
+class StoreEvent:
+    """One operation against a content-addressed result store.
+
+    ``fingerprint`` is the :attr:`~repro.campaign.spec.CampaignSpec.fingerprint`
+    the operation was keyed on; ``store`` names the store instance (the
+    local backend reports its root directory).  ``bytes`` carries the
+    payload size where the store knows it (puts and evictions).
+    """
+
+    op: str
+    fingerprint: str
+    store: str = ""
+    bytes: int | None = None
+
+
+@dataclass(frozen=True)
+class JobUpdate:
+    """One state transition of an asynchronous campaign job.
+
+    ``state`` is one of :data:`repro.service.JOB_STATES`
+    (``pending``/``running``/``done``/``failed``).  ``cache_hit`` marks
+    jobs that short-circuited on the result store without executing any
+    campaign; ``coalesced`` marks submissions that attached to an
+    already-in-flight job for the same fingerprint (single-flight).
+    ``error`` carries the failure ``repr`` for ``failed`` transitions.
+    """
+
+    job_id: str
+    fingerprint: str
+    state: str
+    cache_hit: bool = False
+    coalesced: bool = False
+    error: str = ""
+
+
 class Observer:
     """Base observer: all hooks are no-ops; subclass and override.
 
@@ -227,6 +282,12 @@ class Observer:
         pass
 
     def on_campaign_end(self, event: CampaignEnd) -> None:  # pragma: no cover - no-op
+        pass
+
+    def on_store_event(self, event: StoreEvent) -> None:  # pragma: no cover - no-op
+        pass
+
+    def on_job_update(self, event: JobUpdate) -> None:  # pragma: no cover - no-op
         pass
 
 
@@ -270,6 +331,14 @@ class CompositeObserver(Observer):
         for obs in self.observers:
             obs.on_campaign_end(event)
 
+    def on_store_event(self, event: StoreEvent) -> None:
+        for obs in self.observers:
+            obs.on_store_event(event)
+
+    def on_job_update(self, event: JobUpdate) -> None:
+        for obs in self.observers:
+            obs.on_job_update(event)
+
 
 class RecordingObserver(Observer):
     """Keep every event in memory — the test-suite workhorse.
@@ -290,6 +359,8 @@ class RecordingObserver(Observer):
         self.campaign_starts: list[CampaignStart] = []
         self.shard_ends: list[ShardEnd] = []
         self.campaign_ends: list[CampaignEnd] = []
+        self.store_events: list[StoreEvent] = []
+        self.job_updates: list[JobUpdate] = []
 
     def on_run_start(self, event: RunStart) -> None:
         self.run_starts.append(event)
@@ -322,6 +393,12 @@ class RecordingObserver(Observer):
 
     def on_campaign_end(self, event: CampaignEnd) -> None:
         self.campaign_ends.append(event)
+
+    def on_store_event(self, event: StoreEvent) -> None:
+        self.store_events.append(event)
+
+    def on_job_update(self, event: JobUpdate) -> None:
+        self.job_updates.append(event)
 
     @property
     def step_times(self) -> list[int]:

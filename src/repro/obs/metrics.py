@@ -30,11 +30,13 @@ from repro.obs.events import (
     CampaignEnd,
     CampaignStart,
     CycleEvent,
+    JobUpdate,
     Observer,
     RunEnd,
     RunStart,
     ShardEnd,
     StepEvent,
+    StoreEvent,
 )
 
 __all__ = [
@@ -385,6 +387,17 @@ class MetricsObserver(Observer):
     snapshot is folded in via :meth:`MetricsRegistry.merge`, so run/step
     counters cover shard activity executed in worker processes too.
 
+    Service-layer events (:class:`~repro.obs.events.StoreEvent`,
+    :class:`~repro.obs.events.JobUpdate`) add the ``repro_service_*``
+    family: ``repro_service_store_{hits,misses,puts,evictions,
+    quarantined}_total`` for the content-addressed result store, and
+    ``repro_service_jobs_total`` / ``repro_service_jobs_{coalesced,
+    completed,failed}_total`` / ``repro_service_cache_hits_total`` for the
+    async job service.  A repeated campaign served from the store shows up
+    as a ``repro_service_store_hits_total`` increment with **zero** new
+    ``repro_runs_total`` / ``repro_steps_total`` activity — that pairing is
+    how the cache-hit acceptance test proves no kernel work happened.
+
     Swap tallies on the vectorized backends require diffing the whole grid
     every step, so they are off by default there — run/step counts and
     wall-time stay cheap.  Pass ``swap_detail=True`` to opt into exact
@@ -432,6 +445,44 @@ class MetricsObserver(Observer):
         self._shard_seconds = reg.timer(
             "repro_shard_seconds", "wall-time per computed campaign shard"
         )
+        self._store_ops = {
+            "hit": reg.counter(
+                "repro_service_store_hits_total",
+                "result-store lookups answered from the cache",
+            ),
+            "miss": reg.counter(
+                "repro_service_store_misses_total",
+                "result-store lookups that fell through to execution",
+            ),
+            "put": reg.counter(
+                "repro_service_store_puts_total", "results written to the store"
+            ),
+            "evict": reg.counter(
+                "repro_service_store_evictions_total",
+                "entries evicted to hold the store size cap",
+            ),
+            "quarantine": reg.counter(
+                "repro_service_store_quarantined_total",
+                "corrupted payloads quarantined and treated as misses",
+            ),
+        }
+        self._jobs = reg.counter(
+            "repro_service_jobs_total", "campaign jobs submitted"
+        )
+        self._jobs_coalesced = reg.counter(
+            "repro_service_jobs_coalesced_total",
+            "submissions coalesced onto an in-flight job (single-flight)",
+        )
+        self._jobs_completed = reg.counter(
+            "repro_service_jobs_completed_total", "jobs finished successfully"
+        )
+        self._jobs_failed = reg.counter(
+            "repro_service_jobs_failed_total", "jobs that ended in failure"
+        )
+        self._cache_hits = reg.counter(
+            "repro_service_cache_hits_total",
+            "jobs answered from the result store without executing a campaign",
+        )
 
     def on_run_start(self, event: RunStart) -> None:
         self._runs.inc()
@@ -476,6 +527,23 @@ class MetricsObserver(Observer):
 
     def on_campaign_end(self, event: CampaignEnd) -> None:
         self._campaign_trials.inc(event.trials)
+
+    def on_store_event(self, event: StoreEvent) -> None:
+        counter = self._store_ops.get(event.op)
+        if counter is not None:
+            counter.inc()
+
+    def on_job_update(self, event: JobUpdate) -> None:
+        if event.state == "pending":
+            self._jobs.inc()
+            if event.coalesced:
+                self._jobs_coalesced.inc()
+        elif event.state == "done":
+            self._jobs_completed.inc()
+            if event.cache_hit:
+                self._cache_hits.inc()
+        elif event.state == "failed":
+            self._jobs_failed.inc()
 
 
 def _iter_steps_values(steps: Any):

@@ -1,0 +1,27 @@
+"""repro.service — async campaign jobs over the content-addressed store.
+
+The consolidated public surface of the caching/service tentpole:
+
+* :class:`CampaignService` — ``submit(spec) -> JobHandle``, ``status``,
+  ``result``; store cache-hit short-circuiting plus single-flight
+  coalescing of concurrent identical submissions;
+* :class:`JobHandle` / :class:`JobStatus` / :data:`JOB_STATES` — the job
+  lifecycle vocabulary (``pending -> running -> done | failed``);
+* :class:`JobQueue` / :func:`spec_from_request` — the durable JSON job
+  documents behind ``repro jobs`` and ``repro serve``.
+
+See docs/SERVICE.md for the full design.
+"""
+
+from repro.service.jobs import JOB_STATES, CampaignService, JobHandle, JobStatus
+from repro.service.queue import JOB_SCHEMA_VERSION, JobQueue, spec_from_request
+
+__all__ = [
+    "JOB_STATES",
+    "JOB_SCHEMA_VERSION",
+    "CampaignService",
+    "JobHandle",
+    "JobStatus",
+    "JobQueue",
+    "spec_from_request",
+]

@@ -1,0 +1,250 @@
+"""``repro jobs`` and ``repro serve``: the durable-queue front of the service.
+
+``repro jobs submit`` validates a campaign request and persists it as a
+pending job document next to the result store; ``repro serve`` drains the
+pending set through an in-process :class:`~repro.service.jobs.CampaignService`
+(store short-circuit + single-flight coalescing included) and writes each
+outcome back; ``repro jobs status/result/list`` inspect the documents.
+
+One directory (``--store``) holds everything: the content-addressed
+result entries, ``index.json``, and the ``jobs/`` queue — so shipping the
+directory ships the cache *and* its audit trail.
+
+Exit codes follow the repro CLI contract: 0 ok, 1 failures (a served job
+failed; asking for the result of an unfinished/failed job), 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from repro.errors import ReproError, ServiceError
+from repro.obs.context import use_observer
+from repro.obs.metrics import MetricsObserver, MetricsRegistry
+from repro.service.jobs import CampaignService
+from repro.service.queue import JobQueue, spec_from_request
+
+__all__ = ["jobs_main", "serve_main"]
+
+
+def _add_store_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="result-store directory (job documents live under DIR/jobs/)",
+    )
+
+
+def _job_line(doc: dict[str, Any]) -> str:
+    request = doc.get("request", {})
+    line = (
+        f"{doc['id']}  {doc['state']:7s}  "
+        f"{request.get('algorithm', '?')} side={request.get('side', '?')} "
+        f"trials={request.get('trials', '?')}  fp={doc.get('fingerprint', '')}"
+    )
+    if doc.get("cache_hit"):
+        line += "  [cache hit]"
+    if doc.get("coalesced"):
+        line += "  [coalesced]"
+    if doc.get("error"):
+        line += f"  error={doc['error']}"
+    return line
+
+
+# ---------------------------------------------------------------------------
+# repro jobs
+# ---------------------------------------------------------------------------
+
+
+def jobs_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro jobs",
+        description="submit and inspect durable campaign jobs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_submit = sub.add_parser("submit", help="queue one sort_steps campaign")
+    p_submit.add_argument("algorithm", help="schedule/algorithm name")
+    p_submit.add_argument("--side", type=int, required=True)
+    p_submit.add_argument("--trials", type=int, required=True)
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument(
+        "--shard-size", type=int, default=None,
+        help="trials per campaign shard (default 64, matching sample())",
+    )
+    p_submit.add_argument("--backend", default=None)
+    p_submit.add_argument(
+        "--input-kind", default=None, choices=("permutation", "zero_one")
+    )
+    p_submit.add_argument("--max-steps", type=int, default=None)
+    _add_store_arg(p_submit)
+
+    p_status = sub.add_parser("status", help="one job's lifecycle state")
+    p_status.add_argument("job_id")
+    _add_store_arg(p_status)
+
+    p_result = sub.add_parser("result", help="a finished job's result summary")
+    p_result.add_argument("job_id")
+    _add_store_arg(p_result)
+
+    p_list = sub.add_parser("list", help="every job document, in submit order")
+    _add_store_arg(p_list)
+
+    args = parser.parse_args(argv)
+    queue = JobQueue(args.store)
+    try:
+        if args.command == "submit":
+            request = {
+                "algorithm": args.algorithm,
+                "side": args.side,
+                "trials": args.trials,
+                "kind": "sort_steps",
+                "seed": args.seed,
+            }
+            for key, value in (
+                ("shard_size", args.shard_size),
+                ("backend", args.backend),
+                ("input_kind", args.input_kind),
+                ("max_steps", args.max_steps),
+            ):
+                if value is not None:
+                    request[key] = value
+            doc = queue.submit(request)
+            print(_job_line(doc))
+            return 0
+        if args.command == "status":
+            print(_job_line(queue.load(args.job_id)))
+            return 0
+        if args.command == "result":
+            doc = queue.load(args.job_id)
+            if doc["state"] != "done":
+                print(
+                    f"job {doc['id']} is {doc['state']}, not done"
+                    + (f": {doc['error']}" if doc.get("error") else ""),
+                    file=sys.stderr,
+                )
+                return 1
+            print(json.dumps(doc["result"], indent=2, sort_keys=True))
+            return 0
+        # list
+        for doc in queue.list_jobs():
+            print(_job_line(doc))
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+# ---------------------------------------------------------------------------
+# repro serve
+# ---------------------------------------------------------------------------
+
+
+def _result_summary(result: Any) -> dict[str, Any]:
+    """The JSON written back into a completed job document."""
+    return {
+        "count": result.stats.count,
+        "mean": result.stats.mean,
+        "std": result.stats.std,
+        "values_digest": result.values_digest,
+        "elapsed": result.meta.get("elapsed"),
+        "store": result.meta.get("store"),
+    }
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "drain pending jobs through the campaign service "
+            "(store cache + single-flight coalescing)"
+        ),
+    )
+    _add_store_arg(parser)
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="process the current pending set and exit (the default and, "
+        "for now, only mode; the flag documents intent in scripts)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="campaign worker processes per job (default 1)",
+    )
+    parser.add_argument(
+        "--service-workers", type=int, default=2,
+        help="concurrent flights in the service pool (default 2)",
+    )
+    parser.add_argument(
+        "--max-jobs", type=int, default=None,
+        help="serve at most this many pending jobs",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the service metrics registry snapshot as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.campaign.execution import ExecutionOptions
+    from repro.store import LocalResultStore
+
+    queue = JobQueue(args.store)
+    pending = queue.pending()
+    if args.max_jobs is not None:
+        pending = pending[: args.max_jobs]
+    if not pending:
+        print("no pending jobs")
+        return 0
+
+    registry = MetricsRegistry()
+    observer = MetricsObserver(registry)
+    failed = 0
+    with use_observer(observer):
+        service = CampaignService(
+            store=LocalResultStore(args.store),
+            execution=ExecutionOptions(workers=args.workers),
+            max_workers=args.service_workers,
+        )
+        with service:
+            # Submit the whole batch first so identical pending jobs
+            # coalesce onto one flight, then collect in submit order.
+            handles = []
+            for doc in pending:
+                try:
+                    spec = spec_from_request(doc["request"])
+                except ServiceError as exc:
+                    queue.update(doc["id"], state="failed", error=str(exc))
+                    failed += 1
+                    continue
+                queue.update(doc["id"], state="running")
+                handles.append((doc, service.submit(spec)))
+            for doc, handle in handles:
+                try:
+                    result = service.result(handle)
+                except ServiceError as exc:
+                    status = service.status(handle)
+                    queue.update(
+                        doc["id"], state="failed", error=status.error or str(exc)
+                    )
+                    failed += 1
+                    print(f"{doc['id']}  failed  {status.error or exc}")
+                    continue
+                status = service.status(handle)
+                updated = queue.update(
+                    doc["id"],
+                    state="done",
+                    cache_hit=status.cache_hit,
+                    coalesced=status.coalesced,
+                    result=_result_summary(result),
+                )
+                print(_job_line(updated))
+
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(registry.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 1 if failed else 0

@@ -1,0 +1,332 @@
+"""The async campaign job service: submit/status/result over a result store.
+
+:class:`CampaignService` turns :class:`~repro.campaign.spec.CampaignSpec`
+submissions into background campaign runs on a thread pool, with two
+dedup layers stacked on the spec fingerprint:
+
+* **store short-circuit** — a fingerprint already in the configured
+  result store is served from it (:func:`repro.campaign.run_campaign`'s
+  ``store=`` path: zero kernel steps, bit-identical values);
+* **single-flight coalescing** — concurrent submissions of the same
+  fingerprint share one in-flight execution (the same idiom as the
+  backend compile cache): the first starts the campaign, the rest attach
+  to it, and every attached job observes the one result.
+
+Job lifecycle is ``pending -> running -> done | failed``, reported as
+:class:`~repro.obs.events.JobUpdate` events on the observer stream and
+tallied by :class:`~repro.obs.metrics.MetricsObserver` into the
+``repro_service_jobs_*`` / ``repro_service_cache_hits_total`` counters.
+
+Threading note: ambient observers and profilers are installed via
+``ContextVar``, which does **not** propagate into pool threads — the
+service captures them at :meth:`~CampaignService.submit` time and
+reinstalls them inside the flight thread, so ``with use_observer(...):
+service.submit(...)`` behaves exactly like a foreground run.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any
+
+from repro.campaign.execution import ExecutionOptions
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.errors import ServiceError
+from repro.obs.context import resolve_observer, use_observer
+from repro.obs.events import JobUpdate, Observer
+from repro.obs.prof import current_profiler, use_profiler
+
+if TYPE_CHECKING:
+    from repro.campaign.result import SampleResult
+
+__all__ = ["JOB_STATES", "JobHandle", "JobStatus", "CampaignService"]
+
+#: The job lifecycle, in order.  ``pending`` and ``running`` are live;
+#: ``done`` and ``failed`` are terminal.
+JOB_STATES = ("pending", "running", "done", "failed")
+
+
+@dataclass(frozen=True)
+class JobHandle:
+    """Opaque ticket for one submission (pass back to status/result)."""
+
+    job_id: str
+    fingerprint: str
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """Snapshot of one job's lifecycle state."""
+
+    job_id: str
+    fingerprint: str
+    state: str
+    cache_hit: bool = False
+    coalesced: bool = False
+    error: str = ""
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("done", "failed")
+
+
+@dataclass
+class _Flight:
+    """One in-flight execution of a fingerprint, shared by coalesced jobs."""
+
+    fingerprint: str
+    job_ids: list[str] = field(default_factory=list)
+    done: threading.Event = field(default_factory=threading.Event)
+    result: "SampleResult | None" = None
+    error: str = ""
+
+
+@dataclass
+class _JobRecord:
+    state: str
+    flight: _Flight
+    coalesced: bool = False
+    cache_hit: bool = False
+    error: str = ""
+
+
+class CampaignService:
+    """Async facade over :func:`~repro.campaign.run_campaign`.
+
+    Parameters
+    ----------
+    store:
+        Result store shared by every job (anything
+        :func:`repro.store.resolve_store` accepts).  ``None`` disables
+        caching — every distinct submission runs (coalescing still
+        applies to concurrent duplicates).
+    execution:
+        Template :class:`~repro.campaign.execution.ExecutionOptions` for
+        every job (worker count, checkpointing, ...).  Its ``store``
+        field is overridden by ``store`` when both are given.
+    observer:
+        Receives :class:`~repro.obs.events.JobUpdate` and all campaign/
+        store events from flight threads; falls back to the ambient
+        observer captured at each ``submit``.
+    max_workers:
+        Concurrent flights (distinct fingerprints in execution at once).
+
+    The service is a context manager; leaving the block waits for
+    in-flight jobs and shuts the pool down.
+    """
+
+    def __init__(
+        self,
+        store: Any = None,
+        *,
+        execution: ExecutionOptions | None = None,
+        observer: Observer | None = None,
+        max_workers: int = 2,
+    ):
+        if max_workers < 1:
+            raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
+        options = execution if execution is not None else ExecutionOptions()
+        if store is not None:
+            options = replace(options, store=store)
+        if options.store is not None:
+            # Resolve once so every flight shares one live store instance
+            # (and a config typo fails at construction, not first submit).
+            from repro.store import resolve_store
+
+            options = replace(options, store=resolve_store(options.store))
+        self.execution = options
+        self._observer = observer
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-service"
+        )
+        self._lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
+        self._jobs: dict[str, _JobRecord] = {}
+        self._handles: dict[str, JobHandle] = {}
+        self._counter = itertools.count(1)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: CampaignSpec) -> JobHandle:
+        """Queue one campaign; duplicates of a live fingerprint coalesce."""
+        fingerprint = spec.fingerprint
+        obs = resolve_observer(self._observer)
+        profiler = current_profiler()
+        with self._lock:
+            if self._closed:
+                raise ServiceError("service is closed", fingerprint=fingerprint)
+            job_id = f"job-{next(self._counter):06d}"
+            handle = JobHandle(job_id=job_id, fingerprint=fingerprint)
+            flight = self._flights.get(fingerprint)
+            coalesced = flight is not None
+            if flight is None:
+                flight = _Flight(fingerprint=fingerprint)
+                self._flights[fingerprint] = flight
+            flight.job_ids.append(job_id)
+            record = _JobRecord(state="pending", flight=flight, coalesced=coalesced)
+            self._jobs[job_id] = record
+            self._handles[job_id] = handle
+            pending = JobUpdate(
+                job_id=job_id,
+                fingerprint=fingerprint,
+                state="pending",
+                coalesced=coalesced,
+            )
+        if obs is not None:
+            obs.on_job_update(pending)
+        if not coalesced:
+            # Started after the pending event so per-job updates arrive in
+            # lifecycle order; a concurrent duplicate submitted in this gap
+            # already sees the flight in _flights and coalesces onto it.
+            try:
+                self._pool.submit(self._run_flight, spec, flight, obs, profiler)
+            except RuntimeError as exc:  # pool shut down under us
+                raise ServiceError(
+                    "service is closed",
+                    job_id=job_id,
+                    fingerprint=fingerprint,
+                ) from exc
+        return handle
+
+    def status(self, handle: JobHandle) -> JobStatus:
+        """The job's current lifecycle snapshot."""
+        record = self._record(handle)
+        with self._lock:
+            return JobStatus(
+                job_id=handle.job_id,
+                fingerprint=handle.fingerprint,
+                state=record.state,
+                cache_hit=record.cache_hit,
+                coalesced=record.coalesced,
+                error=record.error,
+            )
+
+    def result(
+        self, handle: JobHandle, timeout: float | None = None
+    ) -> "SampleResult":
+        """Block until the job finishes and return its merged sample.
+
+        Raises :class:`~repro.errors.ServiceError` if the campaign failed
+        or ``timeout`` elapsed first.
+        """
+        record = self._record(handle)
+        if not record.flight.done.wait(timeout):
+            raise ServiceError(
+                f"job {handle.job_id} still {record.state} after {timeout}s",
+                job_id=handle.job_id,
+                fingerprint=handle.fingerprint,
+            )
+        if record.flight.result is None:
+            raise ServiceError(
+                f"job {handle.job_id} failed: {record.flight.error}",
+                job_id=handle.job_id,
+                fingerprint=handle.fingerprint,
+            )
+        return record.flight.result
+
+    def jobs(self) -> list[JobStatus]:
+        """Status of every job submitted to this service, in submit order."""
+        with self._lock:
+            handles = [self._handles[job_id] for job_id in sorted(self._jobs)]
+        return [self.status(handle) for handle in handles]
+
+    def close(self, wait: bool = True) -> None:
+        """Refuse new submissions and (by default) wait for live flights."""
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "CampaignService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Flight execution.
+    # ------------------------------------------------------------------
+
+    def _run_flight(
+        self,
+        spec: CampaignSpec,
+        flight: _Flight,
+        obs: Observer | None,
+        profiler: Any,
+    ) -> None:
+        self._transition(flight, "running", obs)
+        obs_cm = use_observer(obs) if obs is not None else nullcontext()
+        prof_cm = use_profiler(profiler) if profiler is not None else nullcontext()
+        cache_hit = False
+        try:
+            # Reinstall the submitter's ambient observer/profiler: the
+            # pool thread has a fresh ContextVar context, so without this
+            # the campaign (and its store events) would run unobserved.
+            with obs_cm, prof_cm:
+                result = run_campaign(spec, execution=self.execution)
+            cache_hit = bool((result.meta.get("store") or {}).get("hit", False))
+            flight.result = result
+            state = "done"
+        except Exception as exc:
+            flight.error = repr(exc)
+            state = "failed"
+        self._transition(flight, state, obs, cache_hit=cache_hit)
+        with self._lock:
+            if self._flights.get(flight.fingerprint) is flight:
+                del self._flights[flight.fingerprint]
+        flight.done.set()
+
+    def _transition(
+        self,
+        flight: _Flight,
+        state: str,
+        obs: Observer | None,
+        *,
+        cache_hit: bool = False,
+    ) -> None:
+        with self._lock:
+            job_ids = list(flight.job_ids)
+            for job_id in job_ids:
+                record = self._jobs[job_id]
+                record.state = state
+                record.cache_hit = cache_hit
+                record.error = flight.error
+            handles = [self._handles[job_id] for job_id in job_ids]
+            records = [self._jobs[job_id] for job_id in job_ids]
+        for handle, record in zip(handles, records):
+            self._emit(obs, handle, record)
+
+    def _emit(
+        self, obs: Observer | None, handle: JobHandle, record: _JobRecord
+    ) -> None:
+        if obs is None:
+            return
+        obs.on_job_update(
+            JobUpdate(
+                job_id=handle.job_id,
+                fingerprint=handle.fingerprint,
+                state=record.state,
+                cache_hit=record.cache_hit,
+                coalesced=record.coalesced,
+                error=record.error,
+            )
+        )
+
+    def _record(self, handle: JobHandle) -> _JobRecord:
+        with self._lock:
+            record = self._jobs.get(handle.job_id)
+        if record is None:
+            raise ServiceError(
+                f"unknown job {handle.job_id!r}; was it submitted to this "
+                "service instance?",
+                job_id=handle.job_id,
+                fingerprint=handle.fingerprint,
+            )
+        return record

@@ -1,0 +1,187 @@
+"""File-backed job queue: the durable half of ``repro jobs`` / ``repro serve``.
+
+The in-memory :class:`~repro.service.jobs.CampaignService` lives and dies
+with one process; the CLI needs submissions to outlive the submitting
+command.  :class:`JobQueue` persists each job as one JSON document under
+``<root>/jobs/<id>.json`` (atomic tmp + ``os.replace`` updates, the same
+durability idiom as the result store), holding the campaign *request* —
+the spec fields, not the spec object — so any later ``repro serve``
+process can rebuild the spec, run it through a service, and write the
+outcome back.
+
+A job document::
+
+    {
+      "format": "repro-service-job",
+      "schema_version": 1,
+      "id": "j000001",
+      "state": "pending" | "running" | "done" | "failed",
+      "request": {"algorithm": ..., "side": ..., "trials": ..., ...},
+      "fingerprint": "...",         # filled when the spec is built
+      "cache_hit": false,
+      "coalesced": false,
+      "error": "",
+      "result": {...}               # summary written on completion
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.campaign.spec import CampaignSpec
+from repro.errors import ServiceError
+
+__all__ = ["JOB_SCHEMA_VERSION", "JobQueue", "spec_from_request"]
+
+JOB_SCHEMA_VERSION = 1
+_FORMAT = "repro-service-job"
+
+#: Request fields the CLI may set; anything else in a document is rejected
+#: so schema drift fails loudly instead of silently sampling the wrong thing.
+_REQUEST_FIELDS = (
+    "algorithm",
+    "side",
+    "trials",
+    "kind",
+    "seed",
+    "input_kind",
+    "shard_size",
+    "max_steps",
+    "backend",
+)
+
+
+def spec_from_request(request: dict[str, Any]) -> CampaignSpec:
+    """Rebuild the :class:`CampaignSpec` a job document describes.
+
+    The CLI queue carries ``kind="sort_steps"`` requests only (a
+    statistic callable does not survive JSON); ``shard_size`` defaults to
+    64 to match the :func:`repro.experiments.sample` facade, so queued
+    jobs share fingerprints — and store entries — with facade calls.
+    """
+    unknown = sorted(set(request) - set(_REQUEST_FIELDS))
+    if unknown:
+        raise ServiceError(f"unknown job request field(s): {', '.join(unknown)}")
+    if request.get("kind", "sort_steps") != "sort_steps":
+        raise ServiceError(
+            "queued jobs support kind='sort_steps' only; statistic "
+            "callables cannot be serialized into a job document"
+        )
+    try:
+        return CampaignSpec(
+            algorithm=request["algorithm"],
+            side=int(request["side"]),
+            trials=int(request["trials"]),
+            kind="sort_steps",
+            input_kind=request.get("input_kind"),
+            seed=request.get("seed", 0),
+            backend=request.get("backend"),
+            max_steps=request.get("max_steps"),
+            shard_size=int(request.get("shard_size") or 64),
+        )
+    except KeyError as exc:
+        raise ServiceError(f"job request is missing field {exc.args[0]!r}") from exc
+
+
+class JobQueue:
+    """Durable job documents under ``<root>/jobs/``."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    @property
+    def jobs_dir(self) -> Path:
+        return self.root / "jobs"
+
+    def job_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    # ------------------------------------------------------------------
+    # Submission + updates.
+    # ------------------------------------------------------------------
+
+    def submit(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Validate ``request``, persist a pending job, return its document."""
+        spec = spec_from_request(request)  # fail before touching disk
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        job_id = self._next_id()
+        doc = {
+            "format": _FORMAT,
+            "schema_version": JOB_SCHEMA_VERSION,
+            "id": job_id,
+            "state": "pending",
+            "request": dict(request),
+            "fingerprint": spec.fingerprint,
+            "cache_hit": False,
+            "coalesced": False,
+            "error": "",
+            "result": None,
+        }
+        self._write(doc)
+        return doc
+
+    def update(self, job_id: str, **fields: Any) -> dict[str, Any]:
+        """Merge ``fields`` into a job document atomically."""
+        doc = self.load(job_id)
+        doc.update(fields)
+        self._write(doc)
+        return doc
+
+    # ------------------------------------------------------------------
+    # Reads.
+    # ------------------------------------------------------------------
+
+    def load(self, job_id: str) -> dict[str, Any]:
+        try:
+            doc = json.loads(self.job_path(job_id).read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise ServiceError(
+                f"no job {job_id!r} under {self.jobs_dir}", job_id=job_id
+            ) from None
+        except (OSError, ValueError) as exc:
+            raise ServiceError(
+                f"unreadable job document {self.job_path(job_id)}: {exc}",
+                job_id=job_id,
+            ) from exc
+        if not isinstance(doc, dict) or doc.get("format") != _FORMAT:
+            raise ServiceError(
+                f"{self.job_path(job_id)} is not a job document", job_id=job_id
+            )
+        return doc
+
+    def list_jobs(self) -> list[dict[str, Any]]:
+        """Every job document, in id (submission) order."""
+        if not self.jobs_dir.exists():
+            return []
+        return [
+            self.load(path.stem)
+            for path in sorted(self.jobs_dir.glob("j*.json"))
+        ]
+
+    def pending(self) -> list[dict[str, Any]]:
+        return [doc for doc in self.list_jobs() if doc["state"] == "pending"]
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _next_id(self) -> str:
+        highest = 0
+        for path in self.jobs_dir.glob("j*.json"):
+            try:
+                highest = max(highest, int(path.stem[1:]))
+            except ValueError:
+                continue
+        return f"j{highest + 1:06d}"
+
+    def _write(self, doc: dict[str, Any]) -> None:
+        path = self.job_path(doc["id"])
+        tmp = path.parent / f"{path.name}.tmp-{os.getpid()}"
+        tmp.write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, path)

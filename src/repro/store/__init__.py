@@ -1,0 +1,44 @@
+"""repro.store — content-addressed result store for campaign caching.
+
+A result store maps :attr:`~repro.campaign.spec.CampaignSpec.fingerprint`
+to the completed campaign's values + meta, so a repeated ``sample(...,
+store=...)`` becomes a lookup instead of a re-run — bit-identical to the
+fresh computation, because the fingerprint covers exactly the fields
+that determine the merged values (and excludes execution knobs like
+backend and worker count, which are cross-validated not to change them).
+
+* :mod:`repro.store.base` — the :class:`ResultStore` protocol, payload
+  codec (:func:`encode_result` / :func:`decode_result`), integrity
+  hashing, and the scheme registry (:func:`register_store`, mirroring
+  :func:`repro.backends.register_backend`);
+* :mod:`repro.store.local` — the default directory-tree backend with
+  atomic writes, corruption quarantine, and LRU eviction.
+
+See docs/SERVICE.md for the full layout and durability protocol.
+"""
+
+from repro.store.base import (
+    STORE_SCHEMA_VERSION,
+    MemoryResultStore,
+    ResultStore,
+    available_stores,
+    decode_result,
+    encode_result,
+    payload_integrity,
+    register_store,
+    resolve_store,
+)
+from repro.store.local import LocalResultStore
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "ResultStore",
+    "LocalResultStore",
+    "MemoryResultStore",
+    "register_store",
+    "available_stores",
+    "resolve_store",
+    "encode_result",
+    "decode_result",
+    "payload_integrity",
+]

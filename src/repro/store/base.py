@@ -1,0 +1,290 @@
+"""Result-store protocol, payload codec, and the store registry.
+
+A result store is a content-addressed cache of completed campaign
+results, keyed by :attr:`repro.campaign.spec.CampaignSpec.fingerprint` —
+the blake2b digest of exactly the fields that determine the sampled
+values (execution knobs excluded).  Because the fingerprint *is* the
+identity of the sample, a lookup needs no validation beyond integrity:
+two specs with the same fingerprint are guaranteed bit-identical merged
+campaigns, for any worker count, so serving the stored payload is
+indistinguishable from re-running the campaign.
+
+The layer mirrors :mod:`repro.backends`: :class:`ResultStore` is the
+protocol, :func:`register_store` lets third parties plug in a backend
+under a URL-style scheme (an object-store backend registers ``"s3"`` and
+users pass ``store="s3://bucket/prefix"``), and :func:`resolve_store`
+turns whatever the facade was handed — an instance, a plain directory
+path, or a ``scheme:location`` string — into a live store.
+
+Two backends ship in-tree:
+
+* ``local`` — :class:`repro.store.local.LocalResultStore`, a directory
+  tree with atomic writes, integrity hashing, and LRU eviction (the
+  default: any bare path resolves to it);
+* ``memory`` — :class:`MemoryResultStore`, a process-local dict keyed by
+  name (``"memory:shared"``), used by tests and as the reference second
+  backend proving the registry seam works.
+
+Stores report their operations as :class:`~repro.obs.events.StoreEvent`
+on the ambient observer stream (hit/miss/put/evict/quarantine), which
+:class:`~repro.obs.metrics.MetricsObserver` tallies into the
+``repro_service_store_*`` counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.obs.context import resolve_observer
+from repro.obs.events import StoreEvent
+
+if TYPE_CHECKING:
+    from repro.campaign.result import SampleResult
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "ResultStore",
+    "MemoryResultStore",
+    "register_store",
+    "available_stores",
+    "resolve_store",
+    "encode_result",
+    "decode_result",
+    "payload_integrity",
+]
+
+STORE_SCHEMA_VERSION = 1
+_FORMAT = "repro-result-store"
+
+
+# ---------------------------------------------------------------------------
+# Payload codec.
+# ---------------------------------------------------------------------------
+
+
+def encode_result(result: "SampleResult") -> dict[str, Any]:
+    """The JSON-ready payload a store persists for one completed campaign.
+
+    ``values`` round-trips bit-exactly through JSON: step counts are
+    integers, statistic values are IEEE-754 doubles whose ``repr``
+    serialization is exact.  ``stats`` is *not* stored — it is a pure
+    function of ``values`` and is recomputed on decode, so a stored
+    payload can never disagree with its own summary.
+    """
+    if not result.complete:
+        raise StoreError(
+            "refusing to store a partial campaign result (complete=False); "
+            "resume the campaign to finish its shard plan first"
+        )
+    meta = {key: value for key, value in result.meta.items() if key != "store"}
+    return {
+        "values": result.values.tolist(),
+        "dtype": str(result.values.dtype),
+        "meta": meta,
+    }
+
+
+def decode_result(payload: dict[str, Any]) -> "SampleResult":
+    """Rebuild the :class:`~repro.campaign.result.SampleResult` of a payload."""
+    from repro.campaign.result import SampleResult
+
+    try:
+        values = np.asarray(payload["values"], dtype=payload["dtype"])
+        meta = dict(payload["meta"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StoreError(f"undecodable result payload: {exc!r}") from exc
+    return SampleResult.from_values(values, meta)
+
+
+def payload_integrity(payload: dict[str, Any]) -> str:
+    """Digest guarding a stored payload against corruption.
+
+    Computed over the canonical (sorted-keys) JSON form, so any bit flip
+    in values, dtype, or meta changes the digest and turns the entry into
+    a quarantined miss on the next read.
+    """
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.blake2b(canonical.encode(), digest_size=16).hexdigest()
+
+
+def _emit(op: str, fingerprint: str, store: str, nbytes: int | None = None) -> None:
+    """Report one store operation on the ambient observer stream."""
+    obs = resolve_observer(None)
+    if obs is not None:
+        obs.on_store_event(
+            StoreEvent(op=op, fingerprint=fingerprint, store=store, bytes=nbytes)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Protocol.
+# ---------------------------------------------------------------------------
+
+
+class ResultStore:
+    """What every result-store backend implements.
+
+    Keys are campaign fingerprints; values are the payload dicts produced
+    by :func:`encode_result`.  ``get`` returning ``None`` *is* the miss
+    signal — a store must never raise for an absent or corrupted entry
+    (corruption is quarantined and reported as a miss), so a degraded
+    cache always falls back to recomputation.
+    """
+
+    def get(self, fingerprint: str) -> dict[str, Any] | None:
+        """The stored payload for ``fingerprint``, or ``None`` on a miss."""
+        raise NotImplementedError
+
+    def put(
+        self,
+        fingerprint: str,
+        payload: dict[str, Any],
+        *,
+        manifest: dict[str, Any] | None = None,
+    ) -> Any:
+        """Persist ``payload`` under ``fingerprint`` (idempotent overwrite).
+
+        ``manifest`` is the producer's replayable run manifest (an
+        :meth:`~repro.obs.manifest.RunManifest.as_dict` mapping); backends
+        may persist it alongside the payload or ignore it.
+        """
+        raise NotImplementedError
+
+    def __contains__(self, fingerprint: str) -> bool:
+        """Cheap existence probe; never counts as a hit or miss."""
+        raise NotImplementedError
+
+    def delete(self, fingerprint: str) -> bool:
+        """Drop an entry; True if one existed."""
+        raise NotImplementedError
+
+    def fingerprints(self) -> list[str]:
+        """Every stored fingerprint, sorted."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short human-readable identity (used in events and meta)."""
+        return type(self).__name__
+
+
+class MemoryResultStore(ResultStore):
+    """Process-local in-memory store — the reference non-filesystem backend.
+
+    Named instances are shared within the process
+    (``resolve_store("memory:shared")`` twice returns the same object), so
+    concurrent submitters in one process exercise the same cache the way
+    they would against a shared object store.
+    """
+
+    _instances: dict[str, "MemoryResultStore"] = {}
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._entries: dict[str, str] = {}  # canonical JSON, like a blob store
+
+    @classmethod
+    def named(cls, name: str) -> "MemoryResultStore":
+        if name not in cls._instances:
+            cls._instances[name] = cls(name)
+        return cls._instances[name]
+
+    def get(self, fingerprint: str) -> dict[str, Any] | None:
+        blob = self._entries.get(fingerprint)
+        if blob is None:
+            _emit("miss", fingerprint, self.describe())
+            return None
+        _emit("hit", fingerprint, self.describe())
+        return json.loads(blob)
+
+    def put(
+        self,
+        fingerprint: str,
+        payload: dict[str, Any],
+        *,
+        manifest: dict[str, Any] | None = None,
+    ) -> None:
+        blob = json.dumps(payload, sort_keys=True)
+        self._entries[fingerprint] = blob
+        _emit("put", fingerprint, self.describe(), len(blob))
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def delete(self, fingerprint: str) -> bool:
+        return self._entries.pop(fingerprint, None) is not None
+
+    def fingerprints(self) -> list[str]:
+        return sorted(self._entries)
+
+    def describe(self) -> str:
+        return f"memory:{self.name}"
+
+
+# ---------------------------------------------------------------------------
+# Registry.
+# ---------------------------------------------------------------------------
+
+
+def _local_factory(location: str) -> ResultStore:
+    from repro.store.local import LocalResultStore
+
+    return LocalResultStore(location)
+
+
+_FACTORIES: dict[str, Callable[[str], ResultStore]] = {
+    "local": _local_factory,
+    "memory": lambda name: MemoryResultStore.named(name),
+}
+
+
+def register_store(
+    name: str, factory: Callable[[str], ResultStore], *, replace: bool = False
+) -> None:
+    """Register a store backend under scheme ``name``.
+
+    ``factory`` receives the location part of a ``"name:location"`` store
+    spec and returns a live :class:`ResultStore`.  Mirrors
+    :func:`repro.backends.register_backend`: re-registering raises unless
+    ``replace`` is given.
+    """
+    if name in _FACTORIES and not replace:
+        raise StoreError(
+            f"store backend {name!r} is already registered; "
+            "pass replace=True to shadow it"
+        )
+    _FACTORIES[name] = factory
+
+
+def available_stores() -> tuple[str, ...]:
+    """Registered store scheme names, in registration order."""
+    return tuple(_FACTORIES)
+
+
+def resolve_store(spec: "str | Path | ResultStore") -> ResultStore:
+    """Turn a store spec into a live store.
+
+    Accepts a :class:`ResultStore` instance (passed through), a
+    ``"scheme:location"`` string for any registered backend, or a bare
+    directory path (resolved to the ``local`` backend).  Windows-style
+    drive letters are not mistaken for schemes: only registered names
+    dispatch.
+    """
+    if isinstance(spec, ResultStore):
+        return spec
+    if isinstance(spec, Path):
+        return _FACTORIES["local"](str(spec))
+    if not isinstance(spec, str) or not spec:
+        raise StoreError(
+            f"store must be a ResultStore, path, or 'scheme:location' string, "
+            f"got {spec!r}"
+        )
+    scheme, sep, location = spec.partition(":")
+    if sep and scheme in _FACTORIES:
+        return _FACTORIES[scheme](location)
+    return _FACTORIES["local"](spec)

@@ -1,0 +1,384 @@
+"""Local-directory result store: the default cache backend.
+
+Layout (sharded by fingerprint prefix so no directory grows unbounded)::
+
+    <root>/
+      index.json                      # {fp: {size, atime, algorithm, side}}
+      ab/
+        ab12cd34ef567890/
+          result.json                 # envelope: integrity hash + payload
+          manifest.json               # replayable RunManifest of the producer
+      quarantine/
+        ab12cd34ef567890-1.json       # corrupted entries, kept for forensics
+
+Durability protocol:
+
+* **Atomic writes.**  ``result.json`` is written to a ``.tmp-<pid>``
+  sibling and ``os.replace``d into place, so readers only ever see absent
+  or complete entries; a torn write leaves a tmp file that is ignored by
+  reads and swept opportunistically.
+* **Integrity-hashed.**  The envelope records a blake2b digest of the
+  canonical payload JSON.  A read whose recomputed digest differs (bit
+  rot, manual edits, torn replacement on non-atomic filesystems) is
+  **quarantined** — moved aside, reported as a
+  :class:`~repro.obs.events.StoreEvent` ``quarantine`` + ``miss`` — and
+  the caller recomputes.  Corruption degrades to a cache miss, never an
+  error.
+* **LRU-evicted.**  ``index.json`` tracks per-entry payload size and a
+  last-access stamp drawn from a persisted logical clock (monotone across
+  processes via the index round trip, and deterministic — no wall-clock
+  reads); when ``max_bytes`` is set, puts evict least-recently-used
+  entries until the total fits.  The index is a rebuildable acceleration
+  structure: if it is missing or corrupt it is reconstructed by scanning
+  the tree, so deleting it never loses results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.errors import StoreError
+from repro.store.base import (
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    _emit,
+    payload_integrity,
+)
+
+__all__ = ["LocalResultStore"]
+
+_FORMAT = "repro-result-store"
+_INDEX_FORMAT = "repro-result-store-index"
+
+
+class LocalResultStore(ResultStore):
+    """Content-addressed result cache in a local directory tree.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created on first write.
+    max_bytes:
+        Optional size cap over the summed ``result.json`` payload sizes.
+        Exceeding it on ``put`` evicts least-recently-used entries (their
+        whole entry directory) until the cap holds again.  ``None`` (the
+        default) never evicts.
+    """
+
+    def __init__(self, root: str | Path, *, max_bytes: int | None = None):
+        self.root = Path(root)
+        if max_bytes is not None and max_bytes < 1:
+            raise StoreError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Paths.
+    # ------------------------------------------------------------------
+
+    def entry_dir(self, fingerprint: str) -> Path:
+        """The directory holding one fingerprint's files."""
+        return self.root / fingerprint[:2] / fingerprint
+
+    def result_path(self, fingerprint: str) -> Path:
+        """The entry's payload file (``result.json``)."""
+        return self.entry_dir(fingerprint) / "result.json"
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / "index.json"
+
+    def describe(self) -> str:
+        return f"local:{self.root}"
+
+    # ------------------------------------------------------------------
+    # Reads.
+    # ------------------------------------------------------------------
+
+    def get(self, fingerprint: str) -> dict[str, Any] | None:
+        with self._lock:
+            payload = self._read_checked(fingerprint)
+            if payload is None:
+                _emit("miss", fingerprint, self.describe())
+                return None
+            index, clock = self._load_index()
+            self._touch(index, clock, fingerprint)
+        _emit("hit", fingerprint, self.describe())
+        return payload
+
+    def _read_checked(self, fingerprint: str) -> dict[str, Any] | None:
+        """Read + verify one entry; quarantine anything unusable."""
+        path = self.result_path(fingerprint)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return None
+        parsed = self._parse_envelope(text)
+        if parsed is None:
+            self._quarantine(fingerprint, path)
+            return None
+        payload, recorded, fp = parsed
+        if fp != fingerprint or payload_integrity(payload) != recorded:
+            self._quarantine(fingerprint, path)
+            return None
+        return payload
+
+    @staticmethod
+    def _parse_envelope(text: str) -> tuple[dict[str, Any], str, str] | None:
+        """``(payload, integrity, fingerprint)``; None for anything malformed."""
+        try:
+            envelope = json.loads(text)
+        except ValueError:
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("format") != _FORMAT
+            or envelope.get("schema_version") != STORE_SCHEMA_VERSION
+        ):
+            return None
+        payload = envelope.get("payload")
+        recorded = envelope.get("integrity")
+        fp = envelope.get("fingerprint")
+        if not isinstance(payload, dict) or not isinstance(recorded, str):
+            return None
+        if not isinstance(fp, str):
+            return None
+        return payload, recorded, fp
+
+    def _quarantine(self, fingerprint: str, path: Path) -> None:
+        """Move a corrupted entry aside and drop it from the index."""
+        qdir = self.root / "quarantine"
+        qdir.mkdir(parents=True, exist_ok=True)
+        n = 1
+        while (target := qdir / f"{fingerprint}-{n}.json").exists():
+            n += 1
+        try:
+            os.replace(path, target)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._drop_entry_dir(fingerprint)
+        index, clock = self._load_index()
+        if index.pop(fingerprint, None) is not None:
+            self._write_index(index, clock)
+        _emit("quarantine", fingerprint, self.describe())
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.result_path(fingerprint).exists()
+
+    def fingerprints(self) -> list[str]:
+        """Every intact-looking entry on disk (no integrity check)."""
+        if not self.root.exists():
+            return []
+        return sorted(
+            path.parent.name
+            for path in self.root.glob("??/*/result.json")
+        )
+
+    # ------------------------------------------------------------------
+    # Writes.
+    # ------------------------------------------------------------------
+
+    def put(
+        self,
+        fingerprint: str,
+        payload: dict[str, Any],
+        *,
+        manifest: dict[str, Any] | None = None,
+    ) -> Path:
+        """Persist ``payload`` atomically; returns the entry's result path.
+
+        ``manifest`` (a :meth:`~repro.obs.manifest.RunManifest.as_dict`
+        mapping) is written alongside the payload so every cached result
+        names the replayable run that produced it.
+        """
+        envelope = {
+            "format": _FORMAT,
+            "schema_version": STORE_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "integrity": payload_integrity(payload),
+            "payload": payload,
+        }
+        text = json.dumps(envelope, sort_keys=True)
+        path = self.result_path(fingerprint)
+        with self._lock:
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                self._sweep_tmp(path.parent)
+                tmp = path.parent / f"result.json.tmp-{os.getpid()}"
+                tmp.write_text(text, encoding="utf-8")
+                os.replace(tmp, path)  # atomic: readers never see torn entries
+                if manifest is not None:
+                    mtmp = path.parent / f"manifest.json.tmp-{os.getpid()}"
+                    mtmp.write_text(
+                        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8",
+                    )
+                    os.replace(mtmp, path.parent / "manifest.json")
+            except OSError as exc:
+                raise StoreError(
+                    f"cannot write store entry {fingerprint} under {self.root}: {exc}"
+                ) from exc
+            index, clock = self._load_index()
+            clock += 1
+            meta = payload.get("meta", {}) if isinstance(payload, dict) else {}
+            index[fingerprint] = {
+                "size": len(text),
+                "atime": clock,
+                "algorithm": meta.get("algorithm", ""),
+                "side": meta.get("side"),
+            }
+            evicted = self._evict_over_cap(index, keep=fingerprint)
+            self._write_index(index, clock)
+        _emit("put", fingerprint, self.describe(), len(text))
+        for evicted_fp, size in evicted:
+            _emit("evict", evicted_fp, self.describe(), size)
+        return path
+
+    def delete(self, fingerprint: str) -> bool:
+        with self._lock:
+            existed = self.result_path(fingerprint).exists()
+            self._drop_entry_dir(fingerprint)
+            index, clock = self._load_index()
+            if index.pop(fingerprint, None) is not None or existed:
+                self._write_index(index, clock)
+        return existed
+
+    def _drop_entry_dir(self, fingerprint: str) -> None:
+        entry = self.entry_dir(fingerprint)
+        if not entry.exists():
+            return
+        for child in entry.iterdir():
+            try:
+                child.unlink()
+            except OSError:
+                pass
+        try:
+            entry.rmdir()
+        except OSError:
+            pass
+
+    def _sweep_tmp(self, entry_dir: Path) -> None:
+        """Remove tmp files a killed writer left behind (torn writes)."""
+        for stale in entry_dir.glob("*.tmp-*"):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Index + eviction.
+    # ------------------------------------------------------------------
+
+    def _load_index(self) -> tuple[dict[str, dict[str, Any]], int]:
+        """``(entries, clock)``; rebuilt from a tree scan when missing/corrupt.
+
+        ``clock`` is the persisted logical access counter: every put/touch
+        increments it and stamps the entry's ``atime`` with the new value,
+        so LRU order is deterministic and survives process restarts
+        without ever reading the wall clock.
+        """
+        try:
+            doc = json.loads(self.index_path.read_text(encoding="utf-8"))
+            if (
+                isinstance(doc, dict)
+                and doc.get("format") == _INDEX_FORMAT
+                and isinstance(doc.get("entries"), dict)
+            ):
+                entries = dict(doc["entries"])
+                clock = doc.get("clock")
+                if not isinstance(clock, int):
+                    clock = max(
+                        (int(e.get("atime", 0)) for e in entries.values()),
+                        default=0,
+                    )
+                return entries, clock
+        except (OSError, ValueError):
+            pass
+        return self._rebuild_index()
+
+    def _rebuild_index(self) -> tuple[dict[str, dict[str, Any]], int]:
+        """Reconstruct index + clock by scanning the tree (mtime rank order)."""
+        stats: list[tuple[float, str, int]] = []
+        for fp in self.fingerprints():
+            try:
+                stat = self.result_path(fp).stat()
+            except OSError:
+                continue
+            stats.append((stat.st_mtime, fp, stat.st_size))
+        stats.sort()
+        entries: dict[str, dict[str, Any]] = {}
+        for rank, (_, fp, size) in enumerate(stats, start=1):
+            entries[fp] = {"size": size, "atime": rank}
+        return entries, len(stats)
+
+    def _write_index(self, entries: dict[str, dict[str, Any]], clock: int) -> None:
+        doc = {
+            "format": _INDEX_FORMAT,
+            "schema_version": STORE_SCHEMA_VERSION,
+            "clock": clock,
+            "entries": entries,
+        }
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = self.root / f"index.json.tmp-{os.getpid()}"
+            tmp.write_text(
+                json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+            )
+            os.replace(tmp, self.index_path)
+        except OSError:
+            # The index is an acceleration structure; losing an update
+            # costs a rebuild scan, never a result.
+            pass
+
+    def _touch(
+        self, index: dict[str, dict[str, Any]], clock: int, fingerprint: str
+    ) -> None:
+        """Refresh an entry's LRU stamp after a hit (best-effort)."""
+        entry = index.get(fingerprint)
+        if entry is None:
+            try:
+                size = self.result_path(fingerprint).stat().st_size
+            except OSError:
+                return
+            entry = index[fingerprint] = {"size": size}
+        clock += 1
+        entry["atime"] = clock
+        self._write_index(index, clock)
+
+    def _evict_over_cap(
+        self, index: dict[str, dict[str, Any]], *, keep: str
+    ) -> list[tuple[str, int]]:
+        """Evict LRU entries (never ``keep``) until the size cap holds."""
+        if self.max_bytes is None:
+            return []
+        evicted: list[tuple[str, int]] = []
+        total = sum(int(e.get("size", 0)) for e in index.values())
+        while total > self.max_bytes and len(index) > 1:
+            victim = min(
+                (fp for fp in index if fp != keep),
+                key=lambda fp: index[fp].get("atime", 0.0),
+                default=None,
+            )
+            if victim is None:
+                break
+            size = int(index[victim].get("size", 0))
+            self._drop_entry_dir(victim)
+            del index[victim]
+            total -= size
+            evicted.append((victim, size))
+        return evicted
+
+    def total_bytes(self) -> int:
+        """Summed payload sizes currently indexed (the eviction currency)."""
+        with self._lock:
+            entries, _ = self._load_index()
+            return sum(int(e.get("size", 0)) for e in entries.values())

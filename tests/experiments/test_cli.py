@@ -1,6 +1,6 @@
 """CLI coverage for ``python -m repro.experiments``.
 
-Runs :func:`repro.experiments.__main__.main` in-process so exit codes,
+Runs :func:`repro.experiments.cli.main` in-process so exit codes,
 stdout/stderr, and emitted artifacts (CSV, traces, manifests, metrics)
 can all be asserted cheaply.  E-C1 is the workhorse experiment here: it is
 deterministic and finishes in tens of milliseconds at quick scale.
@@ -12,7 +12,7 @@ import json
 
 import pytest
 
-from repro.experiments.__main__ import main
+from repro.experiments.cli import main
 from repro.obs import load_manifest, read_trace, replay_command
 
 

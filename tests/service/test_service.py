@@ -1,0 +1,270 @@
+"""Campaign service: lifecycle, cache-hit short-circuit, single-flight."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.campaign import CampaignSpec, ExecutionOptions, run_campaign
+from repro.errors import ServiceError
+from repro.obs import (
+    MetricsObserver,
+    MetricsRegistry,
+    RecordingObserver,
+    SpanProfiler,
+    use_observer,
+    use_profiler,
+)
+from repro.service import JOB_STATES, CampaignService, JobHandle
+from repro.store import LocalResultStore
+
+SPEC = CampaignSpec("snake_1", side=6, trials=40, seed=99, shard_size=8)
+OTHER = CampaignSpec("snake_2", side=6, trials=40, seed=99, shard_size=8)
+
+
+def _counter(registry: MetricsRegistry, name: str) -> float:
+    return registry.as_dict()[name]["value"]
+
+
+class TestLifecycle:
+    def test_submit_status_result(self, tmp_path):
+        with CampaignService(store=tmp_path) as service:
+            handle = service.submit(SPEC)
+            assert isinstance(handle, JobHandle)
+            assert handle.fingerprint == SPEC.fingerprint
+            result = service.result(handle, timeout=60)
+            status = service.status(handle)
+        assert status.state == "done"
+        assert status.terminal
+        assert not status.cache_hit
+        np.testing.assert_array_equal(
+            result.values, run_campaign(SPEC, workers=1).values
+        )
+
+    def test_states_vocabulary(self):
+        assert JOB_STATES == ("pending", "running", "done", "failed")
+
+    def test_jobs_listing(self, tmp_path):
+        with CampaignService(store=tmp_path) as service:
+            h1 = service.submit(SPEC)
+            h2 = service.submit(OTHER)
+            service.result(h1, timeout=60)
+            service.result(h2, timeout=60)
+            listed = service.jobs()
+        assert [s.job_id for s in listed] == [h1.job_id, h2.job_id]
+        assert all(s.state == "done" for s in listed)
+
+    def test_unknown_handle_rejected(self, tmp_path):
+        with CampaignService(store=tmp_path) as service:
+            bogus = JobHandle(job_id="job-999999", fingerprint="ff")
+            with pytest.raises(ServiceError, match="unknown job"):
+                service.status(bogus)
+
+    def test_failure_surfaces_as_service_error(self, tmp_path):
+        bad = CampaignSpec(
+            "snake_1", side=6, trials=40, seed=99, shard_size=8,
+            max_steps=1,  # 40 trials cannot all sort within one step
+        )
+        with CampaignService(store=tmp_path) as service:
+            handle = service.submit(bad)
+            with pytest.raises(ServiceError, match="failed") as excinfo:
+                service.result(handle, timeout=60)
+            status = service.status(handle)
+        assert status.state == "failed"
+        assert status.error
+        assert excinfo.value.job_id == handle.job_id
+        assert excinfo.value.fingerprint == bad.fingerprint
+
+    def test_closed_service_refuses_submissions(self, tmp_path):
+        service = CampaignService(store=tmp_path)
+        service.close()
+        with pytest.raises(ServiceError, match="closed"):
+            service.submit(SPEC)
+
+    def test_result_timeout(self, tmp_path):
+        slow = CampaignSpec("snake_1", side=8, trials=200, seed=1, shard_size=8)
+        with CampaignService(store=tmp_path) as service:
+            handle = service.submit(slow)
+            with pytest.raises(ServiceError, match="after"):
+                service.result(handle, timeout=0.0)
+            service.result(handle, timeout=60)  # then let it finish
+
+
+class TestCacheHit:
+    def test_repeat_submission_is_store_hit_and_bit_identical(self, tmp_path):
+        with CampaignService(store=tmp_path) as service:
+            first = service.result(service.submit(SPEC), timeout=60)
+            second_handle = service.submit(SPEC)
+            second = service.result(second_handle, timeout=60)
+            status = service.status(second_handle)
+        assert status.cache_hit
+        assert second.meta["store"]["hit"] is True
+        np.testing.assert_array_equal(second.values, first.values)
+        assert second.values_digest == first.values_digest
+
+    def test_cache_hit_runs_zero_kernel_steps(self, tmp_path):
+        """The acceptance criterion: a warm repeat performs no kernel work —
+        proven by the metrics stream (no runs, no steps) and the span tree
+        (a store lookup, no shard execution)."""
+        with CampaignService(store=tmp_path) as service:
+            service.result(service.submit(SPEC), timeout=60)
+
+        registry = MetricsRegistry()
+        profiler = SpanProfiler()
+        with use_observer(MetricsObserver(registry)), use_profiler(profiler):
+            with CampaignService(store=tmp_path) as service:
+                warm = service.result(service.submit(SPEC), timeout=60)
+        assert warm.meta["store"]["hit"] is True
+        # Metrics: the hit is visible, and zero campaign/kernel activity.
+        assert _counter(registry, "repro_service_store_hits_total") == 1
+        assert _counter(registry, "repro_service_cache_hits_total") == 1
+        assert _counter(registry, "repro_runs_total") == 0
+        assert _counter(registry, "repro_steps_total") == 0
+        assert _counter(registry, "repro_campaigns_total") == 0
+        # Span tree: a store lookup span exists; no campaign/shard spans.
+        names = _span_names(profiler.tree())
+        assert "store_lookup" in names
+        assert not any("campaign" in name or "shard" in name for name in names)
+
+    def test_cold_vs_warm_identical_across_worker_counts(self, tmp_path):
+        """Store hits serve the fingerprint's values for ANY worker count —
+        the fingerprint excludes execution knobs by design."""
+        cold = run_campaign(SPEC, workers=1, store=tmp_path)
+        assert cold.meta["store"] == {
+            "hit": False,
+            "stored": True,
+            "store": f"local:{tmp_path}",
+            "fingerprint": SPEC.fingerprint,
+        }
+        warm = run_campaign(SPEC, workers=3, store=tmp_path)
+        assert warm.meta["store"]["hit"] is True
+        np.testing.assert_array_equal(warm.values, cold.values)
+        assert warm.values_digest == cold.values_digest
+
+    def test_store_disabled_service_always_runs(self):
+        registry = MetricsRegistry()
+        with use_observer(MetricsObserver(registry)):
+            with CampaignService() as service:
+                service.result(service.submit(SPEC), timeout=60)
+                handle = service.submit(SPEC)
+                service.result(handle, timeout=60)
+                assert not service.status(handle).cache_hit
+        assert _counter(registry, "repro_campaigns_total") == 2
+
+
+def _span_names(nodes: list[dict]) -> list[str]:
+    names: list[str] = []
+    for node in nodes:
+        names.append(node["name"])
+        names.extend(_span_names(node.get("children", [])))
+    return names
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_submissions_coalesce(self, tmp_path):
+        """Exactly one campaign executes no matter how many identical specs
+        arrive while it is in flight."""
+        registry = MetricsRegistry()
+        with use_observer(MetricsObserver(registry)):
+            with CampaignService(store=tmp_path, max_workers=4) as service:
+                handles = [service.submit(SPEC) for _ in range(5)]
+                results = [service.result(h, timeout=60) for h in handles]
+                statuses = [service.status(h) for h in handles]
+        digests = {r.values_digest for r in results}
+        assert len(digests) == 1
+        assert [s.coalesced for s in statuses] == [False, True, True, True, True]
+        # One campaign ran; one store miss+put; no hits needed.
+        assert _counter(registry, "repro_campaigns_total") == 1
+        assert _counter(registry, "repro_service_jobs_total") == 5
+        assert _counter(registry, "repro_service_jobs_coalesced_total") == 4
+        assert _counter(registry, "repro_service_store_puts_total") == 1
+
+    def test_concurrent_submitters_from_threads(self, tmp_path):
+        """The coalescing lock holds up under genuinely concurrent callers."""
+        registry = MetricsRegistry()
+        observer = MetricsObserver(registry)
+        barrier = threading.Barrier(4)
+        handles: list[JobHandle] = []
+        lock = threading.Lock()
+
+        with CampaignService(
+            store=tmp_path, observer=observer, max_workers=4
+        ) as service:
+
+            def submitter() -> None:
+                barrier.wait()
+                handle = service.submit(SPEC)
+                with lock:
+                    handles.append(handle)
+
+            threads = [threading.Thread(target=submitter) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            results = [service.result(h, timeout=60) for h in handles]
+
+        assert len({r.values_digest for r in results}) == 1
+        executed = _counter(registry, "repro_campaigns_total")
+        hits = _counter(registry, "repro_service_store_hits_total")
+        # Every submission raced into the single-flight window or hit the
+        # store afterwards; either way the campaign itself ran exactly once.
+        assert executed == 1
+        assert executed + hits + _counter(
+            registry, "repro_service_jobs_coalesced_total"
+        ) == 4
+
+    def test_distinct_specs_do_not_coalesce(self, tmp_path):
+        with CampaignService(store=tmp_path, max_workers=2) as service:
+            h1 = service.submit(SPEC)
+            h2 = service.submit(OTHER)
+            service.result(h1, timeout=60)
+            service.result(h2, timeout=60)
+            assert not service.status(h2).coalesced
+
+
+class TestObservability:
+    def test_job_updates_reported_in_lifecycle_order(self, tmp_path):
+        rec = RecordingObserver()
+        with use_observer(rec):
+            with CampaignService(store=tmp_path) as service:
+                handle = service.submit(SPEC)
+                service.result(handle, timeout=60)
+        states = [u.state for u in rec.job_updates if u.job_id == handle.job_id]
+        assert states == ["pending", "running", "done"]
+        done = rec.job_updates[-1]
+        assert done.fingerprint == SPEC.fingerprint
+        assert done.error == ""
+
+    def test_ambient_observer_crosses_into_flight_threads(self, tmp_path):
+        """ContextVars do not propagate into pool threads; the service must
+        reinstall the submitter's observer so campaign events still flow."""
+        rec = RecordingObserver()
+        with use_observer(rec):
+            with CampaignService(store=tmp_path) as service:
+                service.result(service.submit(SPEC), timeout=60)
+        assert len(rec.campaign_starts) == 1
+        assert [e.op for e in rec.store_events] == ["miss", "put"]
+
+    def test_execution_template_applies_to_flights(self, tmp_path):
+        service = CampaignService(
+            store=tmp_path, execution=ExecutionOptions(workers=2)
+        )
+        with service:
+            result = service.result(service.submit(SPEC), timeout=120)
+        assert result.meta["workers"] == 2
+        np.testing.assert_array_equal(
+            result.values, run_campaign(SPEC, workers=1).values
+        )
+
+    def test_store_instance_shared_across_flights(self, tmp_path):
+        store = LocalResultStore(tmp_path)
+        service = CampaignService(store=store)
+        assert service.execution.store is store
+        service.close()
+
+    def test_bad_max_workers(self, tmp_path):
+        with pytest.raises(ServiceError, match="max_workers"):
+            CampaignService(store=tmp_path, max_workers=0)

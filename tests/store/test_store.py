@@ -1,0 +1,299 @@
+"""Content-addressed result store: durability, corruption, eviction, registry."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.campaign import CampaignSpec, run_campaign
+from repro.errors import StoreError
+from repro.obs import RecordingObserver, use_observer
+from repro.store import (
+    LocalResultStore,
+    MemoryResultStore,
+    ResultStore,
+    available_stores,
+    decode_result,
+    encode_result,
+    payload_integrity,
+    register_store,
+    resolve_store,
+)
+
+SPEC = CampaignSpec("snake_1", side=6, trials=40, seed=99, shard_size=8)
+
+
+def _payload(values=(1, 2, 3), **meta) -> dict:
+    base = {"algorithm": "snake_1", "side": 6}
+    base.update(meta)
+    return {"values": list(values), "dtype": "int64", "meta": base}
+
+
+class TestCodec:
+    def test_round_trip_is_bit_identical(self):
+        result = run_campaign(SPEC, workers=1)
+        decoded = decode_result(encode_result(result))
+        np.testing.assert_array_equal(decoded.values, result.values)
+        assert decoded.values.dtype == result.values.dtype
+        assert decoded.values_digest == result.values_digest
+        assert decoded.stats.mean == result.stats.mean
+
+    def test_float_payload_round_trips_exactly(self):
+        spec = CampaignSpec(
+            "snake_1", side=4, trials=24, seed=3, shard_size=8,
+            kind="statistic", statistic=np.mean, num_steps=2,
+        )
+        result = run_campaign(spec, workers=1)
+        assert result.values.dtype == np.float64
+        # Through actual JSON text, not just python dict round trip.
+        blob = json.dumps(encode_result(result))
+        decoded = decode_result(json.loads(blob))
+        np.testing.assert_array_equal(decoded.values, result.values)
+        assert decoded.values_digest == result.values_digest
+
+    def test_partial_result_refused(self, tmp_path):
+        partial = run_campaign(
+            SPEC, workers=1, checkpoint_dir=tmp_path, max_shards=2
+        )
+        with pytest.raises(StoreError, match="partial"):
+            encode_result(partial)
+
+    def test_stats_recomputed_not_stored(self):
+        result = run_campaign(SPEC, workers=1)
+        payload = encode_result(result)
+        assert "stats" not in payload
+
+    def test_integrity_changes_on_any_bit(self):
+        payload = _payload()
+        digest = payload_integrity(payload)
+        tweaked = _payload(values=(1, 2, 4))
+        assert payload_integrity(tweaked) != digest
+
+    def test_undecodable_payload_raises_store_error(self):
+        with pytest.raises(StoreError, match="undecodable"):
+            decode_result({"values": [1], "dtype": "not-a-dtype", "meta": {}})
+
+
+class TestLocalStore:
+    def test_miss_then_put_then_hit(self, tmp_path):
+        store = LocalResultStore(tmp_path)
+        assert store.get("ab12cd34ef567890") is None
+        store.put("ab12cd34ef567890", _payload())
+        assert store.get("ab12cd34ef567890") == _payload()
+        assert "ab12cd34ef567890" in store
+        assert store.fingerprints() == ["ab12cd34ef567890"]
+
+    def test_layout_sharded_by_prefix(self, tmp_path):
+        store = LocalResultStore(tmp_path)
+        store.put("ab12cd34ef567890", _payload())
+        assert (tmp_path / "ab" / "ab12cd34ef567890" / "result.json").exists()
+
+    def test_manifest_written_alongside(self, tmp_path):
+        store = LocalResultStore(tmp_path)
+        store.put("ab12cd34ef567890", _payload(), manifest={"kind": "campaign"})
+        manifest = tmp_path / "ab" / "ab12cd34ef567890" / "manifest.json"
+        assert json.loads(manifest.read_text())["kind"] == "campaign"
+
+    def test_corrupted_payload_quarantined_as_miss(self, tmp_path):
+        """Bit rot degrades to a cache miss — never an error, never a wrong
+        value served."""
+        store = LocalResultStore(tmp_path)
+        store.put("ab12cd34ef567890", _payload())
+        path = store.result_path("ab12cd34ef567890")
+        path.write_text(path.read_text().replace("1, 2, 3", "1, 2, 4"))
+        rec = RecordingObserver()
+        with use_observer(rec):
+            assert store.get("ab12cd34ef567890") is None
+        assert [e.op for e in rec.store_events] == ["quarantine", "miss"]
+        assert "ab12cd34ef567890" not in store
+        quarantined = list((tmp_path / "quarantine").glob("*.json"))
+        assert len(quarantined) == 1
+
+    def test_wrong_fingerprint_quarantined(self, tmp_path):
+        """An entry filed under the wrong key (e.g. a manual rename) is
+        corruption, not a hit."""
+        store = LocalResultStore(tmp_path)
+        store.put("ab12cd34ef567890", _payload())
+        src = store.entry_dir("ab12cd34ef567890")
+        dst = store.entry_dir("ff99aa11bb22cc33")
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        src.rename(dst)
+        assert store.get("ff99aa11bb22cc33") is None
+
+    def test_garbage_file_quarantined(self, tmp_path):
+        store = LocalResultStore(tmp_path)
+        path = store.result_path("ab12cd34ef567890")
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert store.get("ab12cd34ef567890") is None
+        assert list((tmp_path / "quarantine").glob("*.json"))
+
+    def test_torn_write_tmp_file_is_ignored_and_swept(self, tmp_path):
+        """A writer killed mid-put leaves only a tmp file: reads miss, and
+        the next put of that fingerprint sweeps the debris."""
+        store = LocalResultStore(tmp_path)
+        entry = store.entry_dir("ab12cd34ef567890")
+        entry.mkdir(parents=True)
+        torn = entry / "result.json.tmp-9999"
+        torn.write_text('{"half an envel')
+        assert store.get("ab12cd34ef567890") is None
+        assert torn.exists()  # a miss does not mutate the tree
+        store.put("ab12cd34ef567890", _payload())
+        assert not torn.exists()
+        assert store.get("ab12cd34ef567890") == _payload()
+
+    def test_delete(self, tmp_path):
+        store = LocalResultStore(tmp_path)
+        store.put("ab12cd34ef567890", _payload())
+        assert store.delete("ab12cd34ef567890") is True
+        assert store.delete("ab12cd34ef567890") is False
+        assert store.get("ab12cd34ef567890") is None
+
+    def test_put_is_idempotent_overwrite(self, tmp_path):
+        store = LocalResultStore(tmp_path)
+        store.put("ab12cd34ef567890", _payload())
+        store.put("ab12cd34ef567890", _payload(values=(7, 8, 9)))
+        assert store.get("ab12cd34ef567890") == _payload(values=(7, 8, 9))
+
+
+class TestEviction:
+    def _fill(self, store: LocalResultStore, n: int) -> list[str]:
+        fps = [f"{i:02x}{'0' * 14}" for i in range(n)]
+        for i, fp in enumerate(fps):
+            store.put(fp, _payload(values=(i,) * 8))
+        return fps
+
+    def test_eviction_under_size_cap(self, tmp_path):
+        store = LocalResultStore(tmp_path, max_bytes=1)
+        rec = RecordingObserver()
+        with use_observer(rec):
+            fps = self._fill(store, 3)
+        # Cap of 1 byte: every put evicts all prior entries; the newest
+        # entry always survives (a put never evicts itself).
+        assert store.fingerprints() == [fps[-1]]
+        assert [e.op for e in rec.store_events].count("evict") == 2
+
+    def test_lru_victim_is_least_recently_used(self, tmp_path):
+        # Each entry is ~250 bytes: the cap holds two entries but not three.
+        store = LocalResultStore(tmp_path, max_bytes=600)
+        fp_a, fp_b = self._fill(store, 2)
+        assert set(store.fingerprints()) == {fp_a, fp_b}
+        store.get(fp_a)  # touch A: B becomes the LRU victim
+        fp_c = "ff" + "0" * 14
+        store.put(fp_c, _payload(values=(9,) * 8))
+        assert fp_b not in store.fingerprints()
+        assert set(store.fingerprints()) == {fp_a, fp_c}
+
+    def test_no_cap_never_evicts(self, tmp_path):
+        store = LocalResultStore(tmp_path)
+        fps = self._fill(store, 5)
+        assert store.fingerprints() == sorted(fps)
+
+    def test_bad_cap_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="max_bytes"):
+            LocalResultStore(tmp_path, max_bytes=0)
+
+
+class TestIndex:
+    def test_index_is_rebuildable(self, tmp_path):
+        """Deleting index.json never loses results — it is an acceleration
+        structure reconstructed from the tree."""
+        store = LocalResultStore(tmp_path)
+        store.put("ab12cd34ef567890", _payload())
+        store.index_path.unlink()
+        assert store.get("ab12cd34ef567890") == _payload()
+        assert store.total_bytes() > 0
+
+    def test_corrupt_index_rebuilt(self, tmp_path):
+        store = LocalResultStore(tmp_path)
+        store.put("ab12cd34ef567890", _payload())
+        store.index_path.write_text("{broken")
+        assert store.total_bytes() > 0  # served via in-memory rebuild
+        assert store.get("ab12cd34ef567890") == _payload()  # hit rewrites it
+        doc = json.loads(store.index_path.read_text())
+        assert "ab12cd34ef567890" in doc["entries"]
+
+    def test_logical_clock_persists_and_advances(self, tmp_path):
+        store = LocalResultStore(tmp_path)
+        store.put("ab12cd34ef567890", _payload())
+        clock1 = json.loads(store.index_path.read_text())["clock"]
+        # A second store instance (fresh process, same tree) continues the
+        # clock rather than restarting it.
+        LocalResultStore(tmp_path).get("ab12cd34ef567890")
+        clock2 = json.loads(store.index_path.read_text())["clock"]
+        assert clock2 > clock1
+
+
+class TestRegistryAndResolve:
+    def test_builtin_schemes(self):
+        assert "local" in available_stores()
+        assert "memory" in available_stores()
+
+    def test_resolve_passthrough_and_paths(self, tmp_path):
+        store = LocalResultStore(tmp_path)
+        assert resolve_store(store) is store
+        assert isinstance(resolve_store(tmp_path), LocalResultStore)
+        assert isinstance(resolve_store(str(tmp_path)), LocalResultStore)
+
+    def test_resolve_scheme_string(self, tmp_path):
+        store = resolve_store(f"local:{tmp_path}")
+        assert isinstance(store, LocalResultStore)
+        assert store.root == Path(str(tmp_path))
+
+    def test_memory_scheme_shares_named_instances(self):
+        a = resolve_store("memory:test-shared")
+        b = resolve_store("memory:test-shared")
+        assert a is b
+        a.put("ab12", _payload())
+        assert b.get("ab12") == _payload()
+        a.delete("ab12")
+
+    def test_register_custom_scheme(self, tmp_path):
+        calls: list[str] = []
+
+        def factory(location: str) -> ResultStore:
+            calls.append(location)
+            return MemoryResultStore(location)
+
+        register_store("teststore", factory)
+        try:
+            store = resolve_store("teststore:somewhere")
+            assert isinstance(store, MemoryResultStore)
+            assert calls == ["somewhere"]
+            with pytest.raises(StoreError, match="already registered"):
+                register_store("teststore", factory)
+            register_store("teststore", factory, replace=True)
+        finally:
+            from repro.store.base import _FACTORIES
+
+            _FACTORIES.pop("teststore", None)
+
+    def test_resolve_rejects_garbage(self):
+        with pytest.raises(StoreError, match="store must be"):
+            resolve_store(123)
+        with pytest.raises(StoreError, match="store must be"):
+            resolve_store("")
+
+
+class TestMemoryStore:
+    def test_round_trip_and_events(self):
+        store = MemoryResultStore("t")
+        rec = RecordingObserver()
+        with use_observer(rec):
+            assert store.get("ab") is None
+            store.put("ab", _payload())
+            assert store.get("ab") == _payload()
+        assert [e.op for e in rec.store_events] == ["miss", "put", "hit"]
+        assert rec.store_events[1].bytes is not None
+
+    def test_payloads_are_isolated_copies(self):
+        """Stored blobs are JSON text: mutating a returned payload cannot
+        corrupt the cache (same contract as a real object store)."""
+        store = MemoryResultStore("t")
+        store.put("ab", _payload())
+        first = store.get("ab")
+        first["values"].append(999)
+        assert store.get("ab") == _payload()
