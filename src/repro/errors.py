@@ -19,6 +19,7 @@ __all__ = [
     "CheckpointError",
     "StoreError",
     "ServiceError",
+    "LeaseError",
     "AnalysisError",
     "BenchmarkError",
 ]
@@ -180,6 +181,33 @@ class ServiceError(ReproError, RuntimeError):
         self.job_id = job_id
         self.fingerprint = fingerprint
         super().__init__(message)
+
+
+class LeaseError(ServiceError):
+    """A cross-process lock or job lease could not be acquired or renewed.
+
+    Raised by :class:`repro.store.FileLock` (acquire timeout, heartbeat on
+    a lock that is not held) and by the :class:`repro.service.JobQueue`
+    lease protocol.  A lease that is merely *contended* is not an error —
+    ``try_acquire`` / ``claim`` return ``False`` / ``None`` for that — so
+    this class marks genuine protocol violations and exhausted waits.
+
+    Attributes
+    ----------
+    owner:
+        The owner token recorded in the contested lock file, when readable.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        owner: str = "",
+        job_id: str = "",
+        fingerprint: str = "",
+    ) -> None:
+        self.owner = owner
+        super().__init__(message, job_id=job_id, fingerprint=fingerprint)
 
 
 class AnalysisError(ReproError, ValueError):

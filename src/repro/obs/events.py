@@ -53,7 +53,10 @@ adds two more event kinds on the same stream:
     One async-job state transition (``pending`` → ``running`` →
     ``done``/``failed``), including whether the job short-circuited on a
     cache hit or was coalesced onto another in-flight submission of the
-    same fingerprint.
+    same fingerprint.  Serve processes additionally report job-lease
+    transitions (``leased``/``reclaimed``/``released``) and
+    cross-process fingerprint-lock waits (``lock_wait``) on the same
+    event.
 """
 
 from __future__ import annotations
@@ -234,9 +237,13 @@ class JobUpdate:
     """One state transition of an asynchronous campaign job.
 
     ``state`` is one of :data:`repro.service.JOB_STATES`
-    (``pending``/``running``/``done``/``failed``).  ``cache_hit`` marks
-    jobs that short-circuited on the result store without executing any
-    campaign; ``coalesced`` marks submissions that attached to an
+    (``pending``/``running``/``done``/``failed``) or, on the durable-queue
+    side, one of :data:`repro.service.LEASE_STATES` — ``leased`` /
+    ``reclaimed`` / ``released`` for job-lease transitions made by serve
+    processes, and ``lock_wait`` for a flight that blocked on the
+    cross-process fingerprint lock.  ``cache_hit`` marks jobs that
+    short-circuited on the result store without executing any campaign;
+    ``coalesced`` marks submissions that attached to an
     already-in-flight job for the same fingerprint (single-flight).
     ``error`` carries the failure ``repr`` for ``failed`` transitions.
     """

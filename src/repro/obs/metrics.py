@@ -483,6 +483,18 @@ class MetricsObserver(Observer):
             "repro_service_cache_hits_total",
             "jobs answered from the result store without executing a campaign",
         )
+        self._serve_leases = reg.counter(
+            "repro_serve_leases_total",
+            "pending-job leases claimed by serve processes",
+        )
+        self._serve_reclaimed = reg.counter(
+            "repro_serve_reclaimed_total",
+            "stale job leases reclaimed from dead or silent owners",
+        )
+        self._serve_lock_waits = reg.counter(
+            "repro_serve_lock_waits_total",
+            "flights that waited on the cross-process fingerprint lock",
+        )
 
     def on_run_start(self, event: RunStart) -> None:
         self._runs.inc()
@@ -544,6 +556,12 @@ class MetricsObserver(Observer):
                 self._cache_hits.inc()
         elif event.state == "failed":
             self._jobs_failed.inc()
+        elif event.state == "leased":
+            self._serve_leases.inc()
+        elif event.state == "reclaimed":
+            self._serve_reclaimed.inc()
+        elif event.state == "lock_wait":
+            self._serve_lock_waits.inc()
 
 
 def _iter_steps_values(steps: Any):

@@ -8,19 +8,30 @@ The consolidated public surface of the caching/service tentpole:
 * :class:`JobHandle` / :class:`JobStatus` / :data:`JOB_STATES` — the job
   lifecycle vocabulary (``pending -> running -> done | failed``);
 * :class:`JobQueue` / :func:`spec_from_request` — the durable JSON job
-  documents behind ``repro jobs`` and ``repro serve``.
+  documents behind ``repro jobs`` and ``repro serve``;
+* :class:`JobLease` / :data:`LEASE_STATES` — the cross-process lease
+  protocol serve daemons use to partition the pending set (claim via
+  ``O_EXCL`` lease files, logical-clock heartbeats, stale reclaim).
 
 See docs/SERVICE.md for the full design.
 """
 
 from repro.service.jobs import JOB_STATES, CampaignService, JobHandle, JobStatus
-from repro.service.queue import JOB_SCHEMA_VERSION, JobQueue, spec_from_request
+from repro.service.queue import (
+    JOB_SCHEMA_VERSION,
+    LEASE_STATES,
+    JobLease,
+    JobQueue,
+    spec_from_request,
+)
 
 __all__ = [
     "JOB_STATES",
     "JOB_SCHEMA_VERSION",
+    "LEASE_STATES",
     "CampaignService",
     "JobHandle",
+    "JobLease",
     "JobStatus",
     "JobQueue",
     "spec_from_request",

@@ -1,14 +1,26 @@
 """``repro jobs`` and ``repro serve``: the durable-queue front of the service.
 
 ``repro jobs submit`` validates a campaign request and persists it as a
-pending job document next to the result store; ``repro serve`` drains the
-pending set through an in-process :class:`~repro.service.jobs.CampaignService`
-(store short-circuit + single-flight coalescing included) and writes each
-outcome back; ``repro jobs status/result/list`` inspect the documents.
+pending job document next to the result store; ``repro serve`` claims
+pending jobs through the :class:`~repro.service.queue.JobQueue` lease
+protocol and drains them through an in-process
+:class:`~repro.service.jobs.CampaignService` (store short-circuit +
+single-flight coalescing included), writing each outcome back;
+``repro jobs status/result/list`` inspect the documents.
+
+``repro serve`` runs as a **daemon** by default: it polls the queue with
+jittered backoff while idle, heartbeats the leases it holds, retries jobs
+that fail with a transient :class:`~repro.errors.CampaignError`, and
+drains gracefully on SIGINT/SIGTERM — in-flight jobs finish, held leases
+are released.  ``--once`` serves the currently claimable pending set and
+exits.  Because claims are ``O_EXCL`` leases and campaign execution takes
+a per-fingerprint lock under ``<store>/locks/``, any number of serve
+processes can share one store: they partition the pending set, and each
+distinct fingerprint executes exactly once.
 
 One directory (``--store``) holds everything: the content-addressed
-result entries, ``index.json``, and the ``jobs/`` queue — so shipping the
-directory ships the cache *and* its audit trail.
+result entries, ``index.json``, the ``jobs/`` queue, and the lease/lock
+files — so shipping the directory ships the cache *and* its audit trail.
 
 Exit codes follow the repro CLI contract: 0 ok, 1 failures (a served job
 failed; asking for the result of an unfinished/failed job), 2 usage.
@@ -18,14 +30,21 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
 import sys
+import threading
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import ReproError, ServiceError
 from repro.obs.context import use_observer
+from repro.obs.events import JobUpdate, Observer
 from repro.obs.metrics import MetricsObserver, MetricsRegistry
-from repro.service.jobs import CampaignService
-from repro.service.queue import JobQueue, spec_from_request
+from repro.obs.timing import StopWatch
+from repro.randomness import as_generator
+from repro.service.jobs import CampaignService, JobHandle
+from repro.service.queue import JobLease, JobQueue, spec_from_request
 
 __all__ = ["jobs_main", "serve_main"]
 
@@ -156,20 +175,178 @@ def _result_summary(result: Any) -> dict[str, Any]:
     }
 
 
+@dataclass
+class _Inflight:
+    """One claimed job riding the service: lease + handle + retry state."""
+
+    doc: dict[str, Any]
+    lease: JobLease
+    spec: Any
+    handle: JobHandle
+    attempts: int = 1
+    finished: bool = False
+
+
+@dataclass
+class _ServeSession:
+    """One serve process's loop state, shared by --once and daemon mode."""
+
+    queue: JobQueue
+    service: CampaignService
+    observer: Observer
+    args: argparse.Namespace
+    stop: threading.Event
+    processed: int = 0
+    failed: int = 0
+    # Seeded per-process so N daemons sharing a queue jitter differently.
+    rng: Any = field(default_factory=lambda: as_generator(os.getpid()))
+
+    def _emit(self, state: str, doc: dict[str, Any]) -> None:
+        self.observer.on_job_update(
+            JobUpdate(
+                job_id=doc["id"],
+                fingerprint=doc.get("fingerprint", ""),
+                state=state,
+            )
+        )
+
+    def _limit(self) -> int | None:
+        if self.args.max_jobs is None:
+            return None
+        return max(0, self.args.max_jobs - self.processed)
+
+    @property
+    def budget_spent(self) -> bool:
+        limit = self._limit()
+        return limit is not None and limit <= 0
+
+    def serve_pass(self) -> int:
+        """Claim + serve one batch of pending jobs; returns jobs claimed."""
+        limit = self._limit()
+        if limit is not None and limit <= 0:
+            return 0
+        claimed = self.queue.claim_pending(
+            limit=limit, stale_after=self.args.lease_stale_after
+        )
+        if not claimed:
+            return 0
+        for doc, lease in claimed:
+            if lease.reclaimed:
+                self._emit("reclaimed", doc)
+            self._emit("leased", doc)
+        # Submit the whole batch first so identical pending jobs coalesce
+        # onto one flight, then collect in submit order.
+        inflight: list[_Inflight] = []
+        for doc, lease in claimed:
+            if self.stop.is_set():
+                # Draining: leave the job pending for another process.
+                lease.release()
+                self._emit("released", doc)
+                continue
+            try:
+                spec = spec_from_request(doc["request"])
+            except ServiceError as exc:
+                self._finish(doc, lease, error=str(exc))
+                continue
+            self.queue.update(doc["id"], state="running", owner=lease.owner)
+            handle = self.service.submit(spec)
+            inflight.append(_Inflight(doc=doc, lease=lease, spec=spec, handle=handle))
+        for job in inflight:
+            self._collect(job, inflight)
+        return len(claimed)
+
+    def _collect(self, job: _Inflight, inflight: list[_Inflight]) -> None:
+        """Wait for one job, heartbeating every held lease while blocked."""
+        while True:
+            try:
+                result = self.service.result(
+                    job.handle, timeout=self.args.heartbeat_interval
+                )
+            except ServiceError as exc:
+                status = self.service.status(job.handle)
+                if not status.terminal:
+                    self._heartbeat_all(inflight)
+                    continue
+                if (
+                    status.error_type == "CampaignError"
+                    and job.attempts <= self.args.job_retries
+                ):
+                    # Transient campaign failure (lost workers, exhausted
+                    # shard retries): back off and resubmit the spec.
+                    delay = self.args.retry_backoff * (2 ** (job.attempts - 1))
+                    job.attempts += 1
+                    self.stop.wait(delay * (0.5 + self.rng.random()))
+                    self.queue.update(job.doc["id"], attempts=job.attempts)
+                    job.handle = self.service.submit(job.spec)
+                    continue
+                self._finish(job.doc, job.lease, error=status.error or str(exc))
+                job.finished = True
+                return
+            status = self.service.status(job.handle)
+            updated = self.queue.update(
+                job.doc["id"],
+                state="done",
+                cache_hit=status.cache_hit,
+                coalesced=status.coalesced,
+                result=_result_summary(result),
+            )
+            job.lease.release()
+            self._emit("released", job.doc)
+            job.finished = True
+            self.processed += 1
+            print(_job_line(updated))
+            return
+
+    def _finish(self, doc: dict[str, Any], lease: JobLease, *, error: str) -> None:
+        self.queue.update(doc["id"], state="failed", error=error)
+        lease.release()
+        self._emit("released", doc)
+        self.failed += 1
+        self.processed += 1
+        print(f"{doc['id']}  failed  {error}")
+
+    def _heartbeat_all(self, inflight: list[_Inflight]) -> None:
+        for job in inflight:
+            if not job.finished and job.lease.active:
+                job.lease.heartbeat()
+
+
+def _daemon_loop(session: _ServeSession, args: argparse.Namespace) -> None:
+    """Poll until stopped: serve, then sleep with jittered idle backoff."""
+    idle = StopWatch().start()
+    idle_rounds = 0
+    while not session.stop.is_set():
+        served = session.serve_pass()
+        if session.budget_spent:
+            return
+        if served:
+            idle = StopWatch().start()
+            idle_rounds = 0
+            continue
+        if args.idle_exit is not None and idle.elapsed >= args.idle_exit:
+            return
+        # Jittered backoff: the base interval doubles (up to 8x) while the
+        # queue stays empty, and every sleep is randomized +/-50% so N
+        # daemons sharing a queue don't stampede the directory in sync.
+        backoff = args.poll_interval * min(8, 2 ** min(idle_rounds, 3))
+        idle_rounds += 1
+        session.stop.wait(backoff * (0.5 + session.rng.random()))
+
+
 def serve_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro serve",
         description=(
-            "drain pending jobs through the campaign service "
-            "(store cache + single-flight coalescing)"
+            "serve pending jobs through the campaign service "
+            "(store cache + single-flight coalescing + cross-process leases); "
+            "runs as a polling daemon unless --once is given"
         ),
     )
     _add_store_arg(parser)
     parser.add_argument(
         "--once",
         action="store_true",
-        help="process the current pending set and exit (the default and, "
-        "for now, only mode; the flag documents intent in scripts)",
+        help="serve the currently claimable pending set and exit",
     )
     parser.add_argument(
         "--workers", type=int, default=1,
@@ -181,70 +358,114 @@ def serve_main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--max-jobs", type=int, default=None,
-        help="serve at most this many pending jobs",
+        help="serve at most this many pending jobs, then exit",
+    )
+    parser.add_argument(
+        "--poll-interval", type=float, default=0.5, metavar="SECONDS",
+        help="base queue poll interval in daemon mode (default 0.5; idle "
+        "polls back off up to 8x with +/-50%% jitter)",
+    )
+    parser.add_argument(
+        "--idle-exit", type=float, default=None, metavar="SECONDS",
+        help="daemon exits after the queue has been empty this long "
+        "(default: run until SIGINT/SIGTERM)",
+    )
+    parser.add_argument(
+        "--lease-stale-after", type=float, default=60.0, metavar="SECONDS",
+        help="reclaim another serve's job lease after its heartbeat has "
+        "sat unchanged this long (dead on-host owners are reclaimed "
+        "immediately; default 60)",
+    )
+    parser.add_argument(
+        "--heartbeat-interval", type=float, default=5.0, metavar="SECONDS",
+        help="bump held lease heartbeats this often while jobs run "
+        "(default 5)",
+    )
+    parser.add_argument(
+        "--job-retries", type=int, default=1,
+        help="re-serve a job this many extra times after a transient "
+        "CampaignError (default 1; other failures never retry)",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=float, default=0.5, metavar="SECONDS",
+        help="base delay before a job retry; doubles per attempt, "
+        "jittered (default 0.5)",
+    )
+    parser.add_argument(
+        "--owner", default=None,
+        help="owner token recorded in leases (default <host>:pid-<pid>)",
     )
     parser.add_argument(
         "--metrics-out", default=None, metavar="PATH",
         help="write the service metrics registry snapshot as JSON",
     )
     args = parser.parse_args(argv)
+    if args.poll_interval <= 0:
+        parser.error("--poll-interval must be positive")
+    if args.heartbeat_interval <= 0:
+        parser.error("--heartbeat-interval must be positive")
+    if args.job_retries < 0:
+        parser.error("--job-retries must be >= 0")
 
     from repro.campaign.execution import ExecutionOptions
     from repro.store import LocalResultStore
 
-    queue = JobQueue(args.store)
-    pending = queue.pending()
-    if args.max_jobs is not None:
-        pending = pending[: args.max_jobs]
-    if not pending:
-        print("no pending jobs")
-        return 0
-
+    queue = JobQueue(args.store, owner=args.owner)
     registry = MetricsRegistry()
     observer = MetricsObserver(registry)
-    failed = 0
-    with use_observer(observer):
-        service = CampaignService(
-            store=LocalResultStore(args.store),
-            execution=ExecutionOptions(workers=args.workers),
-            max_workers=args.service_workers,
-        )
-        with service:
-            # Submit the whole batch first so identical pending jobs
-            # coalesce onto one flight, then collect in submit order.
-            handles = []
-            for doc in pending:
-                try:
-                    spec = spec_from_request(doc["request"])
-                except ServiceError as exc:
-                    queue.update(doc["id"], state="failed", error=str(exc))
-                    failed += 1
-                    continue
-                queue.update(doc["id"], state="running")
-                handles.append((doc, service.submit(spec)))
-            for doc, handle in handles:
-                try:
-                    result = service.result(handle)
-                except ServiceError as exc:
-                    status = service.status(handle)
-                    queue.update(
-                        doc["id"], state="failed", error=status.error or str(exc)
-                    )
-                    failed += 1
-                    print(f"{doc['id']}  failed  {status.error or exc}")
-                    continue
-                status = service.status(handle)
-                updated = queue.update(
-                    doc["id"],
-                    state="done",
-                    cache_hit=status.cache_hit,
-                    coalesced=status.coalesced,
-                    result=_result_summary(result),
+    stop = threading.Event()
+
+    # Graceful drain: first signal stops claiming and finishes in-flight
+    # jobs (their leases are released as they complete); a second signal
+    # falls through to the previous handler (default: terminate).
+    previous: list[tuple[int, Any]] = []
+    if threading.current_thread() is threading.main_thread():
+
+        def _drain(signum: int, frame: Any) -> None:
+            if stop.is_set():
+                signal.signal(signum, signal.SIG_DFL)
+                signal.raise_signal(signum)
+            stop.set()
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            previous.append((sig, signal.signal(sig, _drain)))
+
+    try:
+        with use_observer(observer):
+            service = CampaignService(
+                store=LocalResultStore(args.store),
+                execution=ExecutionOptions(workers=args.workers),
+                max_workers=args.service_workers,
+            )
+            with service:
+                session = _ServeSession(
+                    queue=queue,
+                    service=service,
+                    observer=observer,
+                    args=args,
+                    stop=stop,
                 )
-                print(_job_line(updated))
+                if args.once:
+                    if session.serve_pass() == 0:
+                        leased = sum(
+                            1 for d in queue.pending()
+                            if queue.lease_path(d["id"]).exists()
+                        )
+                        if leased:
+                            print(
+                                f"no claimable pending jobs "
+                                f"({leased} leased by other serve processes)"
+                            )
+                        else:
+                            print("no pending jobs")
+                else:
+                    _daemon_loop(session, args)
+    finally:
+        for sig, handler in previous:
+            signal.signal(sig, handler)
 
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as fh:
             json.dump(registry.as_dict(), fh, indent=2, sort_keys=True)
             fh.write("\n")
-    return 1 if failed else 0
+    return 1 if session.failed else 0

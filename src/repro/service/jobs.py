@@ -61,7 +61,12 @@ class JobHandle:
 
 @dataclass(frozen=True)
 class JobStatus:
-    """Snapshot of one job's lifecycle state."""
+    """Snapshot of one job's lifecycle state.
+
+    ``error_type`` carries the failure's exception class name (e.g.
+    ``"CampaignError"``) so callers — the serve retry loop — can classify
+    transient failures without parsing the message.
+    """
 
     job_id: str
     fingerprint: str
@@ -69,6 +74,7 @@ class JobStatus:
     cache_hit: bool = False
     coalesced: bool = False
     error: str = ""
+    error_type: str = ""
 
     @property
     def terminal(self) -> bool:
@@ -77,13 +83,22 @@ class JobStatus:
 
 @dataclass
 class _Flight:
-    """One in-flight execution of a fingerprint, shared by coalesced jobs."""
+    """One in-flight execution of a fingerprint, shared by coalesced jobs.
+
+    ``final_state`` is set (under the service lock) by the terminal
+    transition; a submission that attaches *after* that — the window
+    between the terminal transition and the flight's removal from the
+    live table — replays it instead of staying ``pending`` forever.
+    """
 
     fingerprint: str
     job_ids: list[str] = field(default_factory=list)
     done: threading.Event = field(default_factory=threading.Event)
     result: "SampleResult | None" = None
     error: str = ""
+    error_type: str = ""
+    final_state: str | None = None
+    cache_hit: bool = False
 
 
 @dataclass
@@ -93,6 +108,7 @@ class _JobRecord:
     coalesced: bool = False
     cache_hit: bool = False
     error: str = ""
+    error_type: str = ""
 
 
 class CampaignService:
@@ -115,6 +131,12 @@ class CampaignService:
         observer captured at each ``submit``.
     max_workers:
         Concurrent flights (distinct fingerprints in execution at once).
+    lock_stale_after:
+        Staleness bound (seconds) for the **cross-process** fingerprint
+        locks taken under ``<store>/locks/`` while a flight executes.  A
+        lock whose on-host owner died is reclaimed immediately; a remote
+        owner's lock is reclaimed after sitting unchanged this long.
+        Only applies when the store is a local directory store.
 
     The service is a context manager; leaving the block waits for
     in-flight jobs and shuts the pool down.
@@ -127,6 +149,7 @@ class CampaignService:
         execution: ExecutionOptions | None = None,
         observer: Observer | None = None,
         max_workers: int = 2,
+        lock_stale_after: float | None = 600.0,
     ):
         if max_workers < 1:
             raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
@@ -140,6 +163,7 @@ class CampaignService:
 
             options = replace(options, store=resolve_store(options.store))
         self.execution = options
+        self.lock_stale_after = lock_stale_after
         self._observer = observer
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-service"
@@ -180,8 +204,19 @@ class CampaignService:
                 state="pending",
                 coalesced=coalesced,
             )
+            # Coalesce-after-completion window: the flight's terminal
+            # transition may have already run (it snapshots job_ids under
+            # this lock), in which case this late attacher would never be
+            # transitioned again — replay the terminal state to it now.
+            if flight.final_state is not None:
+                record.state = flight.final_state
+                record.cache_hit = flight.cache_hit
+                record.error = flight.error
+                record.error_type = flight.error_type
         if obs is not None:
             obs.on_job_update(pending)
+        if record.state != "pending":
+            self._emit(obs, handle, record)
         if not coalesced:
             # Started after the pending event so per-job updates arrive in
             # lifecycle order; a concurrent duplicate submitted in this gap
@@ -207,6 +242,7 @@ class CampaignService:
                 cache_hit=record.cache_hit,
                 coalesced=record.coalesced,
                 error=record.error,
+                error_type=record.error_type,
             )
 
     def result(
@@ -254,6 +290,19 @@ class CampaignService:
     # Flight execution.
     # ------------------------------------------------------------------
 
+    def _fingerprint_lock(self, fingerprint: str) -> "Any | None":
+        """The cross-process single-flight lock for ``fingerprint``.
+
+        ``None`` when the configured store has no shared directory to
+        anchor locks in (memory store, no store) — in-process coalescing
+        is the only dedup layer then, exactly as before.
+        """
+        store = self.execution.store
+        fingerprint_lock = getattr(store, "fingerprint_lock", None)
+        if fingerprint_lock is None:
+            return None
+        return fingerprint_lock(fingerprint, stale_after=self.lock_stale_after)
+
     def _run_flight(
         self,
         spec: CampaignSpec,
@@ -270,18 +319,51 @@ class CampaignService:
             # pool thread has a fresh ContextVar context, so without this
             # the campaign (and its store events) would run unobserved.
             with obs_cm, prof_cm:
-                result = run_campaign(spec, execution=self.execution)
+                result = self._execute_locked(spec, flight, obs)
             cache_hit = bool((result.meta.get("store") or {}).get("hit", False))
             flight.result = result
             state = "done"
         except Exception as exc:
             flight.error = repr(exc)
+            flight.error_type = type(exc).__name__
             state = "failed"
         self._transition(flight, state, obs, cache_hit=cache_hit)
         with self._lock:
             if self._flights.get(flight.fingerprint) is flight:
                 del self._flights[flight.fingerprint]
         flight.done.set()
+
+    def _execute_locked(
+        self, spec: CampaignSpec, flight: _Flight, obs: Observer | None
+    ) -> "SampleResult":
+        """Run the campaign under the cross-process fingerprint lock.
+
+        Two services sharing a store directory therefore never execute
+        the same fingerprint concurrently: the loser blocks here, and by
+        the time it enters ``run_campaign`` the winner's entry is in the
+        store — the "execution" collapses to a cache hit with zero kernel
+        steps.  A contended acquisition is reported as a ``lock_wait``
+        job update (``repro_serve_lock_waits_total``).
+        """
+        lock = self._fingerprint_lock(spec.fingerprint)
+        if lock is None:
+            return run_campaign(spec, execution=self.execution)
+        if not lock.try_acquire():
+            if obs is not None:
+                with self._lock:
+                    job_id = flight.job_ids[0] if flight.job_ids else ""
+                obs.on_job_update(
+                    JobUpdate(
+                        job_id=job_id,
+                        fingerprint=flight.fingerprint,
+                        state="lock_wait",
+                    )
+                )
+            lock.acquire()
+        try:
+            return run_campaign(spec, execution=self.execution)
+        finally:
+            lock.release()
 
     def _transition(
         self,
@@ -292,12 +374,18 @@ class CampaignService:
         cache_hit: bool = False,
     ) -> None:
         with self._lock:
+            if state in ("done", "failed"):
+                # Recorded under the lock so a submit() that attaches
+                # after this snapshot can replay the terminal state.
+                flight.final_state = state
+                flight.cache_hit = cache_hit
             job_ids = list(flight.job_ids)
             for job_id in job_ids:
                 record = self._jobs[job_id]
                 record.state = state
                 record.cache_hit = cache_hit
                 record.error = flight.error
+                record.error_type = flight.error_type
             handles = [self._handles[job_id] for job_id in job_ids]
             records = [self._jobs[job_id] for job_id in job_ids]
         for handle, record in zip(handles, records):

@@ -12,7 +12,10 @@ backend and worker count, which are cross-validated not to change them).
   hashing, and the scheme registry (:func:`register_store`, mirroring
   :func:`repro.backends.register_backend`);
 * :mod:`repro.store.local` — the default directory-tree backend with
-  atomic writes, corruption quarantine, and LRU eviction.
+  atomic writes, corruption quarantine, and LRU eviction;
+* :mod:`repro.store.locks` — :class:`FileLock`, the ``O_EXCL``
+  cross-process lock primitive behind job leases and per-fingerprint
+  single-flight (``LocalResultStore.fingerprint_lock``).
 
 See docs/SERVICE.md for the full layout and durability protocol.
 """
@@ -29,9 +32,12 @@ from repro.store.base import (
     resolve_store,
 )
 from repro.store.local import LocalResultStore
+from repro.store.locks import LOCK_FORMAT, FileLock
 
 __all__ = [
     "STORE_SCHEMA_VERSION",
+    "LOCK_FORMAT",
+    "FileLock",
     "ResultStore",
     "LocalResultStore",
     "MemoryResultStore",

@@ -48,6 +48,7 @@ from repro.store.base import (
     _emit,
     payload_integrity,
 )
+from repro.store.locks import FileLock
 
 __all__ = ["LocalResultStore"]
 
@@ -91,6 +92,32 @@ class LocalResultStore(ResultStore):
     @property
     def index_path(self) -> Path:
         return self.root / "index.json"
+
+    @property
+    def locks_dir(self) -> Path:
+        """Cross-process fingerprint locks (see :meth:`fingerprint_lock`)."""
+        return self.root / "locks"
+
+    def lock_path(self, fingerprint: str) -> Path:
+        return self.locks_dir / f"{fingerprint}.lock"
+
+    def fingerprint_lock(
+        self,
+        fingerprint: str,
+        *,
+        stale_after: float | None = None,
+        owner: str | None = None,
+    ) -> FileLock:
+        """A :class:`~repro.store.locks.FileLock` scoped to one fingerprint.
+
+        Every process sharing this store root that holds the lock while
+        *executing* a fingerprint (the service layer does) gets
+        cross-process single-flight: the loser waits, then re-reads the
+        store and serves the winner's entry instead of recomputing it.
+        """
+        return FileLock(
+            self.lock_path(fingerprint), stale_after=stale_after, owner=owner
+        )
 
     def describe(self) -> str:
         return f"local:{self.root}"
