@@ -11,9 +11,14 @@ Two layers, both pure — neither executes a single sort step:
 * :mod:`repro.analysis.lint` enforces the repo's own conventions on the
   source tree (RNG only via :mod:`repro.randomness`, typed errors at the
   facade, a single observer-emission site, ...) with an AST rule engine.
+* :mod:`repro.analysis.semantics` certifies *function*: a 0-1-principle
+  model checker that decides whether a schedule actually sorts
+  (CERTIFIED with a minimal step bound / REFUTED with a minimal 0-1
+  counterexample / UNKNOWN), content-addressed so re-analysis is a
+  cache hit.
 
-Both surface through ``repro analyze`` (see :mod:`repro.analysis.__main__`)
-and are documented in docs/ANALYSIS.md.
+All three surface through ``repro analyze`` (see
+:mod:`repro.analysis.__main__`) and are documented in docs/ANALYSIS.md.
 """
 
 from __future__ import annotations
@@ -24,10 +29,26 @@ from repro.analysis.schedule_check import (
     ScheduleViolation,
     check_schedule,
 )
+from repro.analysis.semantics import (
+    CertificateStore,
+    SortednessCertificate,
+    certified_schedule_report,
+    certify_sortedness,
+    peek_certificate,
+    semantics_cache_clear,
+    semantics_cache_info,
+)
 
 __all__ = [
     "check_schedule",
     "ScheduleReport",
     "ScheduleViolation",
     "SCHEDULE_RULES",
+    "SortednessCertificate",
+    "certify_sortedness",
+    "certified_schedule_report",
+    "peek_certificate",
+    "CertificateStore",
+    "semantics_cache_info",
+    "semantics_cache_clear",
 ]

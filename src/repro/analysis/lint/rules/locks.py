@@ -1,0 +1,116 @@
+"""Lock hygiene: every acquired lease must have a release path."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.registry import LintRule, ModuleContext, register
+from repro.analysis.lint.rules._ast_util import call_name, dotted_name
+
+__all__ = ["UnreleasedLockAcquire"]
+
+
+@register
+class UnreleasedLockAcquire(LintRule):
+    """RPR109: no lock acquisition without a guaranteed release path.
+
+    A ``lock.acquire()`` / ``lock.try_acquire()`` whose lock can leak past
+    an exception keeps its ``O_EXCL`` lease file on disk until staleness
+    reclaim kicks in — other serve processes stall on work that nobody is
+    doing.  Within the acquiring function the lock must either be released
+    in a ``finally`` block, escape via ``return`` (ownership transfers to
+    the caller, e.g. a :class:`~repro.service.queue.JobLease`), or be
+    stored on ``self`` (instance-held locks are released by another
+    method).  Prefer the ``hold()`` context manager when the critical
+    section fits in one function.  Locks held through ``self`` and the
+    lock primitives themselves (:mod:`repro.store.locks`) are exempt.
+    """
+
+    id = "RPR109"
+    title = "lock acquired without a release path"
+
+    _ACQUIRE = {"acquire", "try_acquire"}
+
+    #: The locking primitives themselves: their internal acquire calls are
+    #: the implementation of the release discipline, not a use of it.
+    _ALLOWED_MODULES = {"repro.store.locks"}
+
+    def _receiver(self, call: ast.Call) -> str:
+        """``"lock"`` for ``lock.try_acquire(...)``; ``""`` otherwise."""
+        name = call_name(call)
+        base, _, attr = name.rpartition(".")
+        if attr in self._ACQUIRE and base and "." not in base and base != "self":
+            return base
+        return ""
+
+    def _released_in_finally(self, func: ast.AST, receiver: str) -> bool:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Try):
+                continue
+            for stmt in node.finalbody:
+                for call in ast.walk(stmt):
+                    if (
+                        isinstance(call, ast.Call)
+                        and call_name(call) == f"{receiver}.release"
+                    ):
+                        return True
+        return False
+
+    def _escapes(self, func: ast.AST, receiver: str) -> bool:
+        """True when ``receiver`` leaves the function's ownership scope."""
+        for node in ast.walk(func):
+            if isinstance(node, ast.Return) and node.value is not None:
+                if any(
+                    isinstance(sub, ast.Name) and sub.id == receiver
+                    for sub in ast.walk(node.value)
+                ):
+                    return True
+            if isinstance(node, ast.Assign):
+                reads_receiver = any(
+                    isinstance(sub, ast.Name) and sub.id == receiver
+                    for sub in ast.walk(node.value)
+                )
+                stores_on_self = any(
+                    dotted_name(target).startswith("self.")
+                    or (
+                        isinstance(target, ast.Subscript)
+                        and dotted_name(target.value).startswith("self.")
+                    )
+                    for target in node.targets
+                )
+                if reads_receiver and stores_on_self:
+                    return True
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.is_src or ctx.module in self._ALLOWED_MODULES:
+            return
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            receivers = {
+                self._receiver(call)
+                for body_stmt in func.body
+                for call in ast.walk(body_stmt)
+                if isinstance(call, ast.Call)
+            } - {""}
+            for receiver in sorted(receivers):
+                if self._released_in_finally(func, receiver):
+                    continue
+                if self._escapes(func, receiver):
+                    continue
+                site = next(
+                    call
+                    for call in ast.walk(func)
+                    if isinstance(call, ast.Call)
+                    and self._receiver(call) == receiver
+                )
+                yield self.finding(
+                    ctx, site,
+                    f"`{receiver}` is acquired in `{func.name}` with no "
+                    "release path (no finally release, no ownership-"
+                    "transferring return, not stored on self); use the "
+                    "hold() context manager or add try/finally",
+                )

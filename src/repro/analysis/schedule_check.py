@@ -50,7 +50,7 @@ This module never imports an executor; detection is entirely static.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Literal
+from typing import TYPE_CHECKING, Literal
 
 from repro.core.schedule import (
     FORWARD,
@@ -63,6 +63,9 @@ from repro.core.schedule import (
     pair_count,
 )
 from repro.errors import ScheduleValidationError, UnsupportedMeshError
+
+if TYPE_CHECKING:  # pragma: no cover - the certifier imports this module
+    from repro.analysis.semantics.checker import SortednessCertificate
 
 __all__ = [
     "SCHEDULE_RULES",
@@ -116,6 +119,10 @@ class ScheduleReport:
     depth: int
     comparators_per_cycle: int
     violations: list[ScheduleViolation] = field(default_factory=list)
+    #: Sortedness certificate, attached by
+    #: :func:`repro.analysis.semantics.certified_schedule_report` (or the
+    #: compile-time peek); ``None`` when certification was not requested.
+    semantics: "SortednessCertificate | None" = None
 
     @property
     def ok(self) -> bool:
@@ -158,10 +165,14 @@ class ScheduleReport:
             f"comparator(s)/cycle, oblivious={self.oblivious}"
         )
         if self.ok:
-            return f"{head}, no violations"
-        lines = [f"{head}, {len(self.violations)} violation(s)"]
-        lines += [f"  {v.describe()}" for v in self.violations]
-        return "\n".join(lines)
+            body = f"{head}, no violations"
+        else:
+            lines = [f"{head}, {len(self.violations)} violation(s)"]
+            lines += [f"  {v.describe()}" for v in self.violations]
+            body = "\n".join(lines)
+        if self.semantics is not None:
+            body += f"\n  semantics: {self.semantics.describe()}"
+        return body
 
     def to_json(self) -> dict[str, object]:
         """JSON-serializable form for ``repro analyze --json``."""
@@ -182,6 +193,9 @@ class ScheduleReport:
                 }
                 for v in self.violations
             ],
+            "semantics": None
+            if self.semantics is None
+            else self.semantics.to_json(),
         }
 
 
@@ -470,6 +484,20 @@ def _check_offset_completeness(
         for op in step.ops:
             if isinstance(op, PairOp):
                 pair_axes.add("row" if op.low[0] == op.high[0] else "col")
+                # Adjacent pair comparators are single-wire transposition
+                # steps, so they participate in the same offset-coverage
+                # accounting as LineOps: a pair-built network whose line
+                # class only ever fires one offset parity cannot sort.
+                d_row = op.high[0] - op.low[0]
+                d_col = op.high[1] - op.low[1]
+                if d_row == 0 and abs(d_col) == 1:
+                    cls = "odd" if op.low[0] % 2 == 0 else "even"
+                    boundary = min(op.low[1], op.high[1])
+                    offsets.setdefault(("row", cls), set()).add(boundary % 2)
+                elif d_col == 0 and abs(d_row) == 1:
+                    cls = "odd" if op.low[1] % 2 == 0 else "even"
+                    boundary = min(op.low[0], op.high[0])
+                    offsets.setdefault(("col", cls), set()).add(boundary % 2)
                 continue
             if not isinstance(op, LineOp) or not _valid_line_op(op):
                 continue

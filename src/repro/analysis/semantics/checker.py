@@ -1,0 +1,639 @@
+"""Static sortedness certification by 0-1-principle model checking.
+
+The paper's Section 2 reduction is the whole foundation of its
+average-case analysis: an **oblivious** comparison-exchange procedure
+sorts every input iff it sorts every 0-1 input.  The argument is the
+classic monotone-threshold one — ``min``/``max`` commute with
+thresholding, so for any input ``x``, any level ``z``, and any step
+``t``, the state of ``threshold_z(x)`` after ``t`` steps equals
+``threshold_z`` of the state of ``x`` after ``t`` steps.  A grid is in
+target order iff all of its threshold projections are, which yields the
+two directions this module relies on:
+
+* if **all** 0-1 matrices are simultaneously in target order after ``T``
+  steps, then *every* input is in target order after ``T`` steps —
+  ``T`` is a **certified step bound** (``CERTIFIED``);
+* a 0-1 matrix that provably *never* reaches target order is a concrete
+  counterexample input the executor could never finish (``REFUTED``).
+
+:func:`certify_sortedness` decides this **without importing an
+executor**: the comparator IR is interpreted directly with pure NumPy
+``min``/``max`` on one ``(batch, cells)`` int8 array.
+
+Decision procedure
+------------------
+For meshes up to :data:`EXHAUSTIVE_CELL_LIMIT` cells (sides 2–4, linear
+arrays up to ``1 x 16``) the batch is *all* ``2^(rows·cols)`` 0-1
+matrices — the verdict is exact.  Beyond that a seeded, stratified 0-1
+sample (one stratum per zero-count) can only answer ``REFUTED`` (with a
+witness) or ``UNKNOWN`` — never a false ``CERTIFIED``.
+
+The interpreter runs at most :func:`step_budget` steps — a pure mirror
+of the driver cap :func:`repro.backends.base.resolve_step_cap` (kept in
+that layer because this one must stay executor-free; a unit test pins
+the two formulas to each other).  A certified bound therefore never
+exceeds the driver's cap: a ``CERTIFIED`` schedule cannot time out under
+``run_sort``.  Within the budget, batch states are fingerprinted at
+every cycle boundary; a recurrence proves the dynamics periodic, at
+which point any never-sorted input is a genuine *never sorts* witness
+(the fixpoint/periodicity pre-pass — broken schedules typically reach a
+fixed point within a few cycles, long before the budget).
+
+Witness minimality: in exhaustive mode the reported counterexample is
+the global minimum over all never-sorting 0-1 matrices (fewest ones,
+then lexicographically least), so no smaller witness exists; sampled
+witnesses are greedily shrunk by 1-bit flips until locally minimal.
+
+Certificates are cached by schedule *value* identity
+(:mod:`repro.analysis.semantics.cache`): re-certifying the same network
+is a pure lookup with zero interpreter steps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Literal
+
+import numpy as np
+
+from repro.analysis.schedule_check import (
+    ScheduleReport,
+    check_schedule,
+    op_comparators,
+)
+from repro.analysis.semantics.cache import (
+    CertificateStore,
+    add_interpreter_steps,
+    cache_get,
+    cache_peek,
+    cache_put,
+    certificate_key,
+    schedule_digest,
+)
+from repro.core.schedule import Schedule
+from repro.errors import AnalysisError
+from repro.randomness import as_generator, as_seed_sequence
+
+__all__ = [
+    "EXHAUSTIVE_CELL_LIMIT",
+    "SortednessCertificate",
+    "certify_sortedness",
+    "certified_schedule_report",
+    "peek_certificate",
+    "step_budget",
+]
+
+Verdict = Literal["CERTIFIED", "REFUTED", "UNKNOWN"]
+
+#: Largest mesh (in cells) checked exhaustively: ``2^16`` 0-1 matrices is
+#: one 65536 x 16 int8 batch (~1 MiB) — covers sides 2–4 and ``1 x N``
+#: linear arrays up to ``N = 16``.
+EXHAUSTIVE_CELL_LIMIT = 16
+
+_MODES = ("auto", "exhaustive", "sampled")
+
+
+def step_budget(schedule: Schedule, rows: int, cols: int) -> int:
+    """Interpreter step budget: a pure mirror of ``resolve_step_cap``.
+
+    ``8·N + 8·(rows+cols) + 64`` generously over-covers the paper's
+    Θ(√N)–Θ(√N log N) bounds, loosened by a schedule's
+    ``step_cap_hint`` metadata exactly like the driver cap.  The formula
+    is duplicated (not imported) because :mod:`repro.analysis` must stay
+    executor-free; ``tests/analysis/test_semantics.py`` pins it to
+    :func:`repro.backends.base.resolve_step_cap`.
+    """
+    cells = rows * cols
+    base = 8 * cells + 8 * (rows + cols) + 64
+    hint = schedule.metadata.get("step_cap_hint")
+    return max(base, int(hint)) if hint is not None else base
+
+
+@dataclass(frozen=True)
+class SortednessCertificate:
+    """The certifier's verdict on one ``(schedule, mesh)`` pair.
+
+    ``CERTIFIED`` carries the minimal simultaneous step bound
+    (:attr:`step_bound`); ``REFUTED`` carries a minimal 0-1 counterexample
+    (:attr:`witness`, ``rows x cols`` nested tuples); ``UNKNOWN`` carries
+    the reason the checker could not decide (sampling, budget, or a
+    non-oblivious schedule the 0-1 principle does not apply to).
+    """
+
+    verdict: Verdict
+    name: str
+    order: str
+    rows: int
+    cols: int
+    mode: Literal["exhaustive", "sampled"]
+    digest: str
+    inputs_checked: int
+    cycle_len: int
+    budget: int
+    step_bound: int | None = None
+    witness: tuple[tuple[int, ...], ...] | None = None
+    witness_ones: int | None = None
+    reason: str = ""
+    sample_seed: int | None = None
+
+    @property
+    def certified(self) -> bool:
+        return self.verdict == "CERTIFIED"
+
+    @property
+    def refuted(self) -> bool:
+        return self.verdict == "REFUTED"
+
+    @property
+    def witness_array(self) -> "np.ndarray | None":
+        """The counterexample as a ``rows x cols`` int array (or ``None``)."""
+        if self.witness is None:
+            return None
+        return np.asarray(self.witness, dtype=np.int64)
+
+    def describe(self) -> str:
+        head = (
+            f"{self.verdict} [{self.mode}, {self.inputs_checked} 0-1 input(s)]"
+        )
+        if self.certified:
+            return f"{head}: sorts every input within {self.step_bound} step(s)"
+        if self.refuted:
+            rows = ["".join(str(v) for v in row) for row in self.witness or ()]
+            return f"{head}: witness {'/'.join(rows)} never sorts"
+        return f"{head}: {self.reason}"
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-serializable form (inverse of :meth:`from_json`)."""
+        return {
+            "verdict": self.verdict,
+            "name": self.name,
+            "order": self.order,
+            "rows": self.rows,
+            "cols": self.cols,
+            "mode": self.mode,
+            "digest": self.digest,
+            "inputs_checked": self.inputs_checked,
+            "cycle_len": self.cycle_len,
+            "budget": self.budget,
+            "step_bound": self.step_bound,
+            "witness": [list(row) for row in self.witness]
+            if self.witness is not None
+            else None,
+            "witness_ones": self.witness_ones,
+            "reason": self.reason,
+            "sample_seed": self.sample_seed,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "SortednessCertificate":
+        witness = payload.get("witness")
+        return cls(
+            verdict=payload["verdict"],
+            name=str(payload["name"]),
+            order=str(payload["order"]),
+            rows=int(payload["rows"]),
+            cols=int(payload["cols"]),
+            mode=payload["mode"],
+            digest=str(payload["digest"]),
+            inputs_checked=int(payload["inputs_checked"]),
+            cycle_len=int(payload["cycle_len"]),
+            budget=int(payload["budget"]),
+            step_bound=None
+            if payload.get("step_bound") is None
+            else int(payload["step_bound"]),
+            witness=None
+            if witness is None
+            else tuple(tuple(int(v) for v in row) for row in witness),
+            witness_ones=None
+            if payload.get("witness_ones") is None
+            else int(payload["witness_ones"]),
+            reason=str(payload.get("reason", "")),
+            sample_seed=None
+            if payload.get("sample_seed") is None
+            else int(payload["sample_seed"]),
+        )
+
+
+# ---------------------------------------------------------------------------
+# The pure comparator-IR interpreter.
+# ---------------------------------------------------------------------------
+
+
+def _order_permutation(order: str, rows: int, cols: int) -> np.ndarray:
+    """Flat-cell permutation that linearizes the mesh in target order."""
+    idx = np.arange(rows * cols).reshape(rows, cols)
+    if order == "snake":
+        idx = idx.copy()
+        idx[1::2] = idx[1::2, ::-1]  # paper-even rows read right-to-left
+    return idx.reshape(-1)
+
+
+def _step_programs(
+    schedule: Schedule, rows: int, cols: int
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Per step, the flat ``(low, high)`` index arrays of its comparators."""
+    programs: list[tuple[np.ndarray, np.ndarray]] = []
+    for step in schedule.steps:
+        lows: list[int] = []
+        highs: list[int] = []
+        for op in step.ops:
+            for (lr, lc), (hr, hc) in op_comparators(op, rows, cols):
+                lows.append(lr * cols + lc)
+                highs.append(hr * cols + hc)
+        programs.append(
+            (np.asarray(lows, dtype=np.intp), np.asarray(highs, dtype=np.intp))
+        )
+    return programs
+
+
+def _sorted_mask(state: np.ndarray, perm: np.ndarray) -> np.ndarray:
+    """Which batch rows are in target order (nondecreasing along ``perm``)."""
+    seq = state[:, perm]
+    return np.all(seq[:, 1:] >= seq[:, :-1], axis=1)
+
+
+@dataclass
+class _BatchOutcome:
+    """What one budgeted batch run established."""
+
+    all_sorted_at: int | None  # minimal t with every input sorted at once
+    ever_sorted: np.ndarray  # per input: sorted at *some* step <= budget
+    periodic: bool  # cycle-boundary state recurrence proven
+    steps_run: int
+
+
+def _run_batch(
+    programs: list[tuple[np.ndarray, np.ndarray]],
+    perm: np.ndarray,
+    state: np.ndarray,
+    budget: int,
+) -> _BatchOutcome:
+    """Interpret the cycle on ``state`` in place until every input is
+    simultaneously sorted, the dynamics provably repeat, or ``budget``
+    steps have run — whichever comes first."""
+    mask = _sorted_mask(state, perm)
+    ever = mask.copy()
+    if bool(mask.all()):
+        return _BatchOutcome(0, ever, False, 0)
+    seen: set[bytes] = set()
+    seen.add(hashlib.blake2b(state.tobytes()).digest())
+    t = 0
+    while t < budget:
+        for low, high in programs:
+            t += 1
+            if low.size:
+                a = state[:, low]
+                b = state[:, high]
+                state[:, low] = np.minimum(a, b)
+                state[:, high] = np.maximum(a, b)
+            mask = _sorted_mask(state, perm)
+            ever |= mask
+            if bool(mask.all()):
+                return _BatchOutcome(t, ever, False, t)
+            if t >= budget:
+                break
+        key = hashlib.blake2b(state.tobytes()).digest()
+        if key in seen:
+            return _BatchOutcome(None, ever, True, t)
+        seen.add(key)
+    return _BatchOutcome(None, ever, False, t)
+
+
+def _exhaustive_inputs(cells: int) -> np.ndarray:
+    """All ``2^cells`` 0-1 assignments as one ``(2^cells, cells)`` batch."""
+    codes = np.arange(1 << cells, dtype=np.uint32)[:, None]
+    return ((codes >> np.arange(cells, dtype=np.uint32)) & 1).astype(np.int8)
+
+
+def _stratified_inputs(
+    cells: int, samples_per_stratum: int, max_strata: int, seed: int
+) -> np.ndarray:
+    """A seeded 0-1 sample stratified by zero-count.
+
+    Constant (all-0 / all-1) inputs are trivially sorted, so strata cover
+    zero-counts ``1 .. cells-1``; when there are more strata than
+    ``max_strata`` an evenly spaced subset (always including ``1``,
+    ``cells // 2``, and ``cells - 1``) is drawn.
+    """
+    strata = list(range(1, cells))
+    if len(strata) > max_strata:
+        picks = np.linspace(1, cells - 1, num=max_strata)
+        chosen = sorted({int(round(z)) for z in picks} | {1, cells // 2, cells - 1})
+        strata = chosen
+    rows: list[np.ndarray] = []
+    for zeros in strata:
+        rng = as_generator(as_seed_sequence((int(seed), cells, zeros)))
+        for _ in range(samples_per_stratum):
+            vec = np.ones(cells, dtype=np.int8)
+            vec[:zeros] = 0
+            rows.append(rng.permutation(vec))
+    return np.unique(np.stack(rows), axis=0)
+
+
+def _never_sorts(
+    vec: np.ndarray,
+    programs: list[tuple[np.ndarray, np.ndarray]],
+    perm: np.ndarray,
+    budget: int,
+) -> bool:
+    """True only when ``vec`` *provably* never sorts (periodicity proof)."""
+    outcome = _run_batch(programs, perm, vec[None, :].copy(), budget)
+    add_interpreter_steps(outcome.steps_run)
+    return outcome.periodic and not bool(outcome.ever_sorted[0])
+
+
+def _minimize_witness(
+    vec: np.ndarray,
+    programs: list[tuple[np.ndarray, np.ndarray]],
+    perm: np.ndarray,
+    budget: int,
+) -> np.ndarray:
+    """Greedy 1-bit shrink: flip ones to zeros while the refutation holds."""
+    current = vec.copy()
+    improved = True
+    while improved:
+        improved = False
+        for index in np.nonzero(current == 1)[0]:
+            candidate = current.copy()
+            candidate[index] = 0
+            if _never_sorts(candidate, programs, perm, budget):
+                current = candidate
+                improved = True
+    return current
+
+
+def _pick_minimal(inputs: np.ndarray, never: np.ndarray) -> np.ndarray:
+    """The canonical minimal witness: fewest ones, then lexicographically
+    least (reading the flat row-major bit string as a number)."""
+    candidates = inputs[never]
+    ones = candidates.sum(axis=1)
+    weights = 1 << np.arange(candidates.shape[1])[::-1]
+    lex = candidates @ weights
+    order = np.lexsort((lex, ones))
+    return candidates[order[0]]
+
+
+# ---------------------------------------------------------------------------
+# The decision procedure.
+# ---------------------------------------------------------------------------
+
+
+def certify_sortedness(
+    schedule: Schedule,
+    rows: int,
+    cols: int | None = None,
+    *,
+    mode: str = "auto",
+    sample_seed: int = 0,
+    samples_per_stratum: int = 8,
+    max_strata: int = 16,
+    report: ScheduleReport | None = None,
+    use_cache: bool = True,
+    store: CertificateStore | None = None,
+) -> SortednessCertificate:
+    """Decide CERTIFIED / REFUTED / UNKNOWN for ``schedule`` on the mesh.
+
+    Parameters
+    ----------
+    mode:
+        ``"auto"`` (exhaustive up to :data:`EXHAUSTIVE_CELL_LIMIT` cells,
+        sampled beyond), ``"exhaustive"``, or ``"sampled"``.  Requesting
+        an exhaustive check beyond the cell limit is a usage error — the
+        batch would not fit in memory.
+    report:
+        An existing :func:`~repro.analysis.schedule_check.check_schedule`
+        report for the same mesh, to avoid re-checking.  Structural
+        violations make the schedule non-oblivious, so the 0-1 principle
+        does not apply and the verdict is ``UNKNOWN``.
+    use_cache / store:
+        Certificates are looked up in (and written back to) the
+        in-process cache and, when given, the on-disk
+        :class:`~repro.analysis.semantics.cache.CertificateStore` — both
+        keyed by schedule *value*, so a cache hit costs zero interpreter
+        steps.
+    """
+    rows = int(rows)
+    cols = rows if cols is None else int(cols)
+    cells = rows * cols
+    if mode not in _MODES:
+        raise AnalysisError(f"mode must be one of {_MODES}, got {mode!r}")
+    if mode == "exhaustive" and cells > EXHAUSTIVE_CELL_LIMIT:
+        raise AnalysisError(
+            f"exhaustive 0-1 checking is limited to {EXHAUSTIVE_CELL_LIMIT} "
+            f"cells (2^{cells} inputs would not fit); use mode='sampled'"
+        )
+    exhaustive = (
+        mode == "exhaustive"
+        or (mode == "auto" and cells <= EXHAUSTIVE_CELL_LIMIT)
+    )
+
+    digest = schedule_digest(schedule, rows, cols)
+    params: dict[str, Any] = {"mode": "exhaustive" if exhaustive else "sampled"}
+    if not exhaustive:
+        params.update(
+            seed=int(sample_seed),
+            samples_per_stratum=int(samples_per_stratum),
+            max_strata=int(max_strata),
+        )
+    key = certificate_key(digest, params)
+
+    if use_cache:
+        cached = cache_get(key)
+        if cached is not None:
+            # Backfill the persistent store: a memory hit must still leave
+            # an artifact behind when the caller asked for one.
+            if store is not None and not store.path_for(key).exists():
+                store.put(key, cached.to_json())
+            return cached
+        if store is not None:
+            payload = store.get(key)
+            if payload is not None:
+                cert = SortednessCertificate.from_json(payload)
+                cache_put(key, cert)
+                return cert
+
+    certificate = _compute_certificate(
+        schedule,
+        rows,
+        cols,
+        digest=digest,
+        exhaustive=exhaustive,
+        sample_seed=int(sample_seed),
+        samples_per_stratum=int(samples_per_stratum),
+        max_strata=int(max_strata),
+        report=report,
+    )
+    if use_cache:
+        cache_put(key, certificate)
+    if store is not None:
+        store.put(key, certificate.to_json())
+    return certificate
+
+
+def _compute_certificate(
+    schedule: Schedule,
+    rows: int,
+    cols: int,
+    *,
+    digest: str,
+    exhaustive: bool,
+    sample_seed: int,
+    samples_per_stratum: int,
+    max_strata: int,
+    report: ScheduleReport | None,
+) -> SortednessCertificate:
+    cells = rows * cols
+    mode: Literal["exhaustive", "sampled"] = (
+        "exhaustive" if exhaustive else "sampled"
+    )
+    seed = None if exhaustive else sample_seed
+    budget = step_budget(schedule, rows, cols)
+    base = dict(
+        name=schedule.name,
+        order=schedule.order,
+        rows=rows,
+        cols=cols,
+        mode=mode,
+        digest=digest,
+        cycle_len=len(schedule.steps),
+        budget=budget,
+        sample_seed=seed,
+    )
+
+    if report is None:
+        report = check_schedule(schedule, rows, cols)
+    if report.structural:
+        return SortednessCertificate(
+            verdict="UNKNOWN",
+            inputs_checked=0,
+            reason=(
+                "schedule is not an oblivious comparator network "
+                f"({len(report.structural)} structural violation(s)); "
+                "the 0-1 principle does not apply"
+            ),
+            **base,  # type: ignore[arg-type]
+        )
+
+    perm = _order_permutation(schedule.order, rows, cols)
+    programs = _step_programs(schedule, rows, cols)
+    inputs = (
+        _exhaustive_inputs(cells)
+        if exhaustive
+        else _stratified_inputs(cells, samples_per_stratum, max_strata, sample_seed)
+    )
+    outcome = _run_batch(programs, perm, inputs.copy(), budget)
+    add_interpreter_steps(outcome.steps_run)
+    checked = int(inputs.shape[0])
+
+    if outcome.all_sorted_at is not None:
+        if exhaustive:
+            return SortednessCertificate(
+                verdict="CERTIFIED",
+                inputs_checked=checked,
+                step_bound=outcome.all_sorted_at,
+                reason=(
+                    f"all {checked} 0-1 matrices reach target order "
+                    f"simultaneously at step {outcome.all_sorted_at}"
+                ),
+                **base,  # type: ignore[arg-type]
+            )
+        return SortednessCertificate(
+            verdict="UNKNOWN",
+            inputs_checked=checked,
+            step_bound=outcome.all_sorted_at,
+            reason=(
+                f"all {checked} sampled 0-1 inputs sort, but sampling "
+                "cannot certify — rerun exhaustively on a smaller mesh"
+            ),
+            **base,  # type: ignore[arg-type]
+        )
+
+    if outcome.periodic:
+        never = ~outcome.ever_sorted
+        if bool(never.any()):
+            witness = _pick_minimal(inputs, never)
+            if not exhaustive:
+                witness = _minimize_witness(witness, programs, perm, budget)
+            grid = tuple(
+                tuple(int(v) for v in row) for row in witness.reshape(rows, cols)
+            )
+            return SortednessCertificate(
+                verdict="REFUTED",
+                inputs_checked=checked,
+                witness=grid,
+                witness_ones=int(witness.sum()),
+                reason=(
+                    "cycle dynamics are periodic and the witness is never "
+                    "in target order at any step"
+                ),
+                **base,  # type: ignore[arg-type]
+            )
+        return SortednessCertificate(
+            verdict="UNKNOWN",
+            inputs_checked=checked,
+            reason=(
+                "every 0-1 input is transiently sorted but never all at "
+                "once within one period; no certified bound exists"
+            ),
+            **base,  # type: ignore[arg-type]
+        )
+
+    return SortednessCertificate(
+        verdict="UNKNOWN",
+        inputs_checked=checked,
+        reason=(
+            f"step budget ({budget}) exhausted before simultaneous "
+            "sortedness or a periodicity proof"
+        ),
+        **base,  # type: ignore[arg-type]
+    )
+
+
+def certified_schedule_report(
+    schedule: Schedule,
+    rows: int,
+    cols: int | None = None,
+    *,
+    store: CertificateStore | None = None,
+    **certify_kwargs: Any,
+) -> ScheduleReport:
+    """:func:`check_schedule` plus an attached sortedness certificate.
+
+    The one-stop entry ``repro analyze --certify`` uses: the structural /
+    policy report gains a :attr:`~ScheduleReport.semantics` section.
+    """
+    rows = int(rows)
+    cols = rows if cols is None else int(cols)
+    report = check_schedule(schedule, rows, cols)
+    report.semantics = certify_sortedness(
+        schedule, rows, cols, report=report, store=store, **certify_kwargs
+    )
+    return report
+
+
+def peek_certificate(
+    schedule: Schedule, rows: int, cols: int | None = None
+) -> SortednessCertificate | None:
+    """A previously computed auto-mode certificate, or ``None`` — never
+    computes and never touches the hit/miss statistics.
+
+    This is the compile-time hook: :class:`repro.backends.compile.
+    CompiledSchedule` attaches whatever certificate analysis has already
+    paid for, at zero cost, without the executor ever importing the
+    certifier's compute path.
+    """
+    rows = int(rows)
+    cols = rows if cols is None else int(cols)
+    cells = rows * cols
+    digest = schedule_digest(schedule, rows, cols)
+    if cells <= EXHAUSTIVE_CELL_LIMIT:
+        params: dict[str, Any] = {"mode": "exhaustive"}
+    else:
+        params = {
+            "mode": "sampled",
+            "seed": 0,
+            "samples_per_stratum": 8,
+            "max_strata": 16,
+        }
+    return cache_peek(certificate_key(digest, params))

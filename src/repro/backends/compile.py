@@ -23,6 +23,7 @@ from typing import Callable, NamedTuple
 import numpy as np
 
 from repro.analysis.schedule_check import ScheduleReport, check_schedule
+from repro.analysis.semantics import peek_certificate
 from repro.core.schedule import (
     FORWARD,
     LineOp,
@@ -145,6 +146,12 @@ class CompiledSchedule:
         rows, cols = int(rows), int(cols)
         self.analysis: ScheduleReport = check_schedule(schedule, rows, cols)
         self.analysis.raise_for_structural()
+        # Compile-time semantics hook: attach an already-known sortedness
+        # certificate (in-memory cache only — peeking never runs the 0-1
+        # interpreter, so compilation stays O(kernels)).  A REFUTED
+        # schedule still compiles: executing a broken schedule is exactly
+        # how the verify layer demonstrates the breakage dynamically.
+        self.analysis.semantics = peek_certificate(schedule, rows, cols)
         self.schedule = schedule
         self.rows, self.cols = rows, cols
         self._steps: list[list[Kernel]] = [

@@ -17,6 +17,10 @@ Each :class:`BenchCase` names one operation worth tracking over time:
   result store through ``sample(..., store=...)``: a warm hit (pure
   lookup + decode, the zero-kernel-steps path) vs a cold miss (lookup +
   campaign + put, the store emptied before every timed iteration);
+* ``certify_cold`` / ``certify_cached`` — the 0-1 sortedness certifier on
+  a side-4 schedule: a cold exhaustive model check (65 536 0-1 matrices
+  through the comparator-IR interpreter) vs a pure content-addressed
+  cache hit, pinning the re-analysis-is-free contract to a number;
 * ``span_overhead_disabled`` — the module-level :func:`repro.obs.prof.span`
   fast path with **no** profiler installed, pinning the package's
   zero-overhead-when-disabled guarantee to a number.
@@ -42,6 +46,7 @@ _SEED = 20260808  # fixed: identical inputs on every bench run
 _STEPS = 64  # driver-loop iterations per timed body
 _TRIALS = 48  # campaign trials per timed body
 _COMPILE_SIDE = 32  # mesh side for the compile-cache cases
+_CERTIFY_SIDE = 4  # mesh side for the 0-1 certifier cases (exhaustive limit)
 _NETWORK_STEPS = 128  # pinned random-network cycle length (side-independent)
 
 
@@ -195,6 +200,28 @@ def _body_service_miss(state) -> Any:
     return sample("snake_1", store=store, **kwargs)
 
 
+def _setup_certify() -> Any:
+    from repro.core.runner import resolve_algorithm
+
+    return resolve_algorithm("snake_1")
+
+
+def _body_certify_cold(schedule) -> Any:
+    from repro.analysis.semantics import certify_sortedness, semantics_cache_clear
+
+    # Clear the in-memory certificate cache (like compile_cache_miss) so
+    # every timed iteration pays the full exhaustive 0-1 model check:
+    # 2^16 matrices through the comparator-IR interpreter.
+    semantics_cache_clear()
+    return certify_sortedness(schedule, _CERTIFY_SIDE, _CERTIFY_SIDE)
+
+
+def _body_certify_cached(schedule) -> Any:
+    from repro.analysis.semantics import certify_sortedness
+
+    return certify_sortedness(schedule, _CERTIFY_SIDE, _CERTIFY_SIDE)
+
+
 def _setup_noop() -> Any:
     return None
 
@@ -307,6 +334,27 @@ def build_cases(suite: str = "smoke") -> list[BenchCase]:
             body=_body_service_miss,
             repeats=3,
             meta={"trials": _TRIALS, "side": 8, "store": "local"},
+        )
+    )
+    cases.append(
+        BenchCase(
+            name="certify_cold",
+            group="certify",
+            setup=_setup_certify,
+            body=_body_certify_cold,
+            repeats=3,
+            meta={"side": _CERTIFY_SIDE, "algorithm": "snake_1",
+                  "inputs": 2 ** (_CERTIFY_SIDE * _CERTIFY_SIDE)},
+        )
+    )
+    cases.append(
+        BenchCase(
+            name="certify_cached",
+            group="certify",
+            setup=_setup_certify,
+            body=_body_certify_cached,
+            repeats=10,
+            meta={"side": _CERTIFY_SIDE, "algorithm": "snake_1"},
         )
     )
     cases.append(

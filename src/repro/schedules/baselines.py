@@ -117,6 +117,7 @@ BASELINE_FAMILIES: tuple[ScheduleFamily, ...] = (
         topology="square",
         sided=True,
         description="classic Θ(sqrt(N) log N) shearsort contrast baseline",
+        certified_sides=(2, 3, 4),
     ),
     ScheduleFamily(
         name="row_major_no_wrap",

@@ -41,5 +41,7 @@ LINEAR_FAMILIES: tuple[ScheduleFamily, ...] = (
         builder=build_odd_even,
         topology="linear",
         description="1-D odd-even transposition sort (runs as a 1 x N mesh)",
+        # 1 x N arrays stay exhaustively checkable out to N = 16 cells.
+        certified_sides=(2, 3, 4, 8, 16),
     ),
 )

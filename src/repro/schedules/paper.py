@@ -29,6 +29,10 @@ PAPER_FAMILIES: tuple[ScheduleFamily, ...] = tuple(
         topology="square",
         requires_even_side=name in ROW_MAJOR_NAMES,
         description=_DESCRIPTIONS[name],
+        # Exhaustive 0-1 certificates (repro analyze --certify re-proves
+        # these): the even-side-only row-major pair on {2, 4}, the snakes
+        # on every exhaustively checkable side.
+        certified_sides=(2, 4) if name in ROW_MAJOR_NAMES else (2, 3, 4),
     )
     for name, builder in ALGORITHMS.items()
 )

@@ -43,7 +43,8 @@ __all__ = ["build_random_network", "RANDOM_NETWORK_FAMILIES"]
 
 
 def build_random_network(
-    *, side: int, seed: int, steps: int | None = None
+    *, side: int, seed: int, steps: int | None = None,
+    coverage_patch: bool = True,
 ) -> Schedule:
     """Draw one random sorting network on a linear array of ``side`` cells.
 
@@ -57,6 +58,11 @@ def build_random_network(
         Number of uniform comparator draws; defaults to ``2 * n**2``
         (comfortably above the Θ(n²) comparators a fixed network needs).
         Coverage patching may append up to ``n - 2`` further comparators.
+    coverage_patch:
+        Test hook, deliberately *not* a registry parameter: ``False``
+        skips the coverage patch, yielding the raw (possibly non-sorting)
+        draw so the analysis suite can demonstrate what SCH008 and the
+        sortedness certifier catch when the patch is missing.
     """
     n = int(side)
     if n < 2:
@@ -67,10 +73,11 @@ def build_random_network(
 
     rng = as_generator(as_seed_sequence((int(seed), n, length)))
     positions = [int(p) for p in rng.integers(0, n - 1, size=length)]
-    # Coverage patch: append any adjacent position the draws missed, so a
-    # full cycle always makes progress on an unsorted array (see module
-    # docstring for the termination argument).
-    positions.extend(sorted(set(range(n - 1)) - set(positions)))
+    if coverage_patch:
+        # Coverage patch: append any adjacent position the draws missed, so
+        # a full cycle always makes progress on an unsorted array (see
+        # module docstring for the termination argument).
+        positions.extend(sorted(set(range(n - 1)) - set(positions)))
 
     schedule_steps = tuple(
         Step(PairOp((0, p), (0, p + 1))) for p in positions

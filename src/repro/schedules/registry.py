@@ -97,6 +97,14 @@ class ScheduleFamily:
         True for deliberately broken families (``row_major_no_wrap``):
         resolvable by name, excluded from sweeps, benches, and the default
         :func:`available_families` listing.
+    certified_sides:
+        Sides on which the family's default instance is *statically
+        certified* to sort — an exhaustive 0-1-principle proof by
+        :func:`repro.analysis.semantics.certify_sortedness`, re-checked
+        by ``repro analyze --certify`` (a declared side whose exhaustive
+        check does not come back CERTIFIED is a gating finding).  Empty
+        for seeded generators (instances vary per seed) and, of course,
+        for pathological families.
     """
 
     name: str
@@ -108,6 +116,7 @@ class ScheduleFamily:
     default_params: Mapping[str, Any] = field(default_factory=dict)
     description: str = ""
     pathological: bool = False
+    certified_sides: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", self.name):
@@ -119,6 +128,17 @@ class ScheduleFamily:
             raise DimensionError(
                 f"topology must be one of {TOPOLOGIES}, got {self.topology!r}"
             )
+        for side in self.certified_sides:
+            if not isinstance(side, int) or side < 2:
+                raise DimensionError(
+                    f"certified_sides must hold integer sides >= 2, "
+                    f"got {side!r} for family {self.name!r}"
+                )
+            if self.requires_even_side and side % 2 != 0:
+                raise DimensionError(
+                    f"family {self.name!r} requires even sides but declares "
+                    f"certified side {side}"
+                )
 
 
 _REGISTRY: dict[str, ScheduleFamily] = {}

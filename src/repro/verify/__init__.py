@@ -32,7 +32,13 @@ from repro.verify.metamorphic import (
     monotone_relabelings,
     run_with_invariants,
 )
-from repro.verify.mutations import MUTATIONS, all_mutants, mutate_schedule
+from repro.verify.mutations import (
+    MUTATIONS,
+    all_mutants,
+    classify_mutants,
+    classify_mutants_semantic,
+    mutate_schedule,
+)
 from repro.verify.runner import (
     BUDGETS,
     CheckRecord,
@@ -55,6 +61,8 @@ __all__ = [
     "VerifyConfig",
     "VerifyReport",
     "all_mutants",
+    "classify_mutants",
+    "classify_mutants_semantic",
     "check_relabeling_invariance",
     "check_threshold_consistency",
     "differential_run",

@@ -1,0 +1,39 @@
+"""Fixture: RPR109 near-misses — every acquire has a release path."""
+
+
+class Lease:
+    def __init__(self, lock):
+        self.lock = lock
+
+
+class Holder:
+    def __init__(self):
+        self._lock = None
+
+    def adopt(self, lock):
+        lock.acquire()
+        self._lock = lock  # instance-held: released by close()
+
+    def reacquire(self):
+        self._lock.acquire()  # attribute receivers are instance-held
+
+    def close(self):
+        self._lock.release()
+
+
+def transfer(lock):
+    if not lock.try_acquire():
+        return None
+    return Lease(lock=lock)
+
+
+def guarded(lock):
+    lock.acquire()
+    try:
+        return do_work()
+    finally:
+        lock.release()
+
+
+def do_work():
+    return "done"

@@ -1,0 +1,16 @@
+"""Fixture: RPR109 triggers — leases acquired with no release path."""
+
+
+def leaky_claim(lock):
+    if not lock.try_acquire():
+        return None
+    return do_work()
+
+
+def leaky_blocking(lock):
+    lock.acquire()
+    do_work()
+
+
+def do_work():
+    return "working"

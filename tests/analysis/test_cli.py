@@ -160,3 +160,101 @@ class TestVerifyIntegration:
         statics = [r for r in report.records if r.prop == "static_schedule"]
         assert statics and all(r.ok for r in statics)
         assert {r.side for r in statics} == {4, 6}  # smoke-budget sides
+
+
+class TestCertifyCli:
+    def test_certify_sweep_is_clean_and_counts_certificates(self, capsys):
+        assert analyze_main(["--no-lint", "--certify", "--sides", "2", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "certificates: " in out and "0 refuted" in out
+        assert "declared certified sides:" in out
+
+    def test_certify_refuted_family_fails_with_witness(self, capsys):
+        code = analyze_main([
+            "--no-lint", "--certify",
+            "--family", "row_major_no_wrap", "--sides", "4",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "statically REFUTED" in out and "witness" in out
+
+    def test_certify_json_carries_semantics_sections(self, capsys):
+        assert analyze_main([
+            "--no-lint", "--certify", "--json",
+            "--family", "row_major_no_wrap", "--sides", "4",
+        ]) == 1
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["ok"] is False
+        assert blob["semantics_findings"]
+        [report] = blob["schedules"]
+        assert report["semantics"]["verdict"] == "REFUTED"
+        assert report["semantics"]["witness"] is not None
+
+    def test_family_spec_pins_a_single_instance(self, capsys):
+        assert analyze_main([
+            "--no-lint", "--family", "random_network[side=8,seed=7]",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("schedule 'random_network") == 1
+        assert "1 schedule report(s)" in out
+
+    def test_family_without_side_sweeps_requested_sides(self):
+        reports = schedule_reports((4, 6), family="shearsort")
+        assert [r.rows for r in reports] == [4, 6]
+
+    def test_unknown_family_is_usage_error(self, capsys):
+        assert analyze_main(["--no-lint", "--family", "nope"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_bad_spec_is_usage_error(self, capsys):
+        assert analyze_main(["--no-lint", "--family", "snake_1[side=big]"]) == 2
+        assert "bad parameter" in capsys.readouterr().err
+
+    def test_certify_with_no_schedules_is_usage_error(self, capsys):
+        assert analyze_main(["--no-schedules", "--certify"]) == 2
+        assert "--no-schedules" in capsys.readouterr().err
+
+    def test_certificate_dir_persists_artifacts(self, tmp_path, capsys):
+        from repro.analysis.semantics import semantics_cache_clear
+
+        store_dir = tmp_path / "certs"
+        argv = [
+            "--no-lint", "--certify", "--quiet",
+            "--family", "snake_1", "--sides", "4",
+            "--certificate-dir", str(store_dir),
+        ]
+        assert analyze_main(argv) == 0
+        capsys.readouterr()
+        written = list(store_dir.rglob("*.json"))
+        assert len(written) == 1
+        # Second run in a fresh in-memory cache reuses the stored proof.
+        semantics_cache_clear()
+        assert analyze_main(argv) == 0
+        assert list(store_dir.rglob("*.json")) == written
+
+    def test_front_door_certify_dispatch(self, capsys):
+        assert repro_main([
+            "analyze", "--no-lint", "--certify", "--quiet",
+            "--family", "odd_even", "--sides", "4",
+        ]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+
+class TestCompileSemanticsHook:
+    def test_compile_attaches_cached_certificate_without_computing(self):
+        from repro.analysis.semantics import (
+            certify_sortedness,
+            semantics_cache_clear,
+            semantics_cache_info,
+        )
+
+        schedule_cache_clear()
+        semantics_cache_clear()
+        compiled = compiled_schedule(get_algorithm("snake_3"), 4)
+        assert compiled.analysis.semantics is None  # nothing known yet
+        assert semantics_cache_info().interpreter_steps == 0
+
+        cert = certify_sortedness(get_algorithm("snake_3"), 4, 4)
+        schedule_cache_clear()
+        compiled = compiled_schedule(get_algorithm("snake_3"), 4)
+        assert compiled.analysis.semantics == cert

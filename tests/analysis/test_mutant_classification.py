@@ -16,7 +16,11 @@ import pytest
 
 from repro.analysis.schedule_check import check_schedule
 from repro.core.algorithms import ALGORITHM_NAMES, get_algorithm
-from repro.verify.mutations import all_mutants, classify_mutants
+from repro.verify.mutations import (
+    all_mutants,
+    classify_mutants,
+    classify_mutants_semantic,
+)
 
 STATIC_FAMILIES = ("drop-op", "flip-direction", "flip-offset")
 
@@ -114,3 +118,66 @@ def test_classification_adds_no_executor_imports():
     )
     assert result.returncode == 0, result.stderr
     assert "EXECUTOR-FREE" in result.stdout
+
+
+class TestSemanticReclassification:
+    """The certifier splits the old "semantic" bucket three ways."""
+
+    def test_shift_pair_mutant_moves_from_semantic_to_statically_refuted(self):
+        # Acceptance: a mutant the legacy classifier waves through with
+        # *zero* schedule-check violations is proven broken statically.
+        from repro.schedules import build_schedule
+
+        schedule = build_schedule("random_network[side=4,steps=6]", seed=0)
+        legacy = {label: kind for label, _, kind in classify_mutants(schedule, 1, 4)}
+        semantic_labels = {label for label, kind in legacy.items() if kind == "semantic"}
+        refuted = {
+            label: cert
+            for label, _, kind, cert in classify_mutants_semantic(schedule, 1, 4)
+            if kind == "statically-refuted"
+        }
+        promoted = semantic_labels & set(refuted)
+        assert promoted, (legacy, sorted(refuted))
+        for label in promoted:
+            cert = refuted[label]
+            assert cert.refuted and cert.witness is not None
+            assert not check_schedule(
+                [m for lbl, m in all_mutants(schedule) if lbl == label][0], 1, 4
+            ).violations
+
+    def test_swap_steps_mutants_of_paper_algorithms_stay_semantic_only(self):
+        # Cyclic repetition with full coverage still sorts after a step
+        # swap, so the certifier must NOT refute these (they are the
+        # residue the dynamic differential suite exists for).
+        quads = classify_mutants_semantic(get_algorithm("snake_1"), 4)
+        kinds = {label: kind for label, _, kind, _ in quads}
+        swaps = {k: v for k, v in kinds.items() if k.startswith("swap-steps")}
+        assert swaps and set(swaps.values()) == {"semantic-only"}, kinds
+        assert "statically-refuted" in set(kinds.values()), kinds
+
+    def test_structural_mutants_carry_no_certificate(self):
+        quads = classify_mutants_semantic(get_algorithm("snake_1"), 4)
+        for label, _, kind, cert in quads:
+            if kind == "structural":
+                assert cert is None, label
+            else:
+                assert cert is not None, label
+
+    def test_refuted_witnesses_feed_the_corpus_and_replay_clean(self, tmp_path):
+        from repro.verify import load_corpus, replay_reproducer
+
+        classify_mutants_semantic(get_algorithm("snake_1"), 4, corpus_dir=tmp_path)
+        corpus = load_corpus(tmp_path)
+        assert corpus, "no witness reached the corpus"
+        for rep in corpus:
+            assert rep.prop == "differential"
+            assert rep.algorithm == "snake_1"
+            assert "semantics certifier" in rep.source
+            # Corpus contract: replaying against the *genuine* algorithm
+            # must pass — the witness only defeats the mutant.
+            assert replay_reproducer(rep) == [], rep.source
+
+    def test_legacy_classifier_is_unchanged(self):
+        schedule = get_algorithm("snake_1")
+        kinds = {kind for _, _, kind in classify_mutants(schedule, 4)}
+        assert kinds == {"static", "semantic"}

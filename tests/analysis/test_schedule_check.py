@@ -206,3 +206,46 @@ class TestReportApi:
                 for step in get_algorithm(name).steps:
                     for op in step.ops:
                         assert op_comparators(op, side, side) == comparator_pairs(op, side)
+
+
+class TestPairOpParityCoverage:
+    """SCH008/SCH009 see PairOp networks, not just LineOp cycles."""
+
+    def test_coverage_patched_random_network_is_clean(self):
+        from repro.schedules import build_random_network
+
+        for seed in (0, 1, 7):
+            schedule = build_random_network(side=4, seed=seed, steps=4)
+            report = check_schedule(schedule, 1, 4)
+            assert report.ok, report.describe()
+
+    def test_patch_disabled_single_parity_draw_trips_sch008(self):
+        from repro.schedules import build_random_network
+
+        schedule = build_random_network(
+            side=4, seed=1, steps=4, coverage_patch=False
+        )
+        report = check_schedule(schedule, 1, 4)
+        assert rules_of(report) == {"SCH008"}, report.describe()
+        # The certifier agrees with the lint: the uncovered parity class
+        # leaves an adjacent inversion no comparator can ever fix.
+        from repro.analysis.semantics import certify_sortedness
+
+        cert = certify_sortedness(schedule, 1, 4)
+        assert cert.refuted and cert.witness is not None
+
+    def test_missing_axis_still_reported_for_pair_networks(self):
+        from repro.core.schedule import PairOp
+
+        # Vertical pairs only, on a genuinely 2-D mesh: the row axis has
+        # no comparators anywhere in the cycle -> SCH009.
+        schedule = Schedule(
+            name="cols_only_pairs",
+            steps=(
+                Step(PairOp((0, 0), (1, 0)), PairOp((0, 1), (1, 1))),
+                Step(PairOp((1, 0), (2, 0)), PairOp((1, 1), (2, 1))),
+            ),
+            order="row_major",
+        )
+        report = check_schedule(schedule, 3, 2)
+        assert "SCH009" in rules_of(report), report.describe()

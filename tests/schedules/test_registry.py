@@ -243,3 +243,31 @@ class TestDeterminism:
         schedule = build_schedule("random_network", side=8, seed=7)
         hint = int(schedule.metadata["step_cap_hint"])
         assert resolve_step_cap(schedule, 1, 8) == max(hint, step_cap(1, 8))
+
+
+class TestCertifiedSides:
+    def test_declarations_match_topology_constraints(self):
+        for name in family_names(include_pathological=True):
+            family = get_family(name)
+            assert all(side >= 2 for side in family.certified_sides), name
+            if family.requires_even_side:
+                assert all(s % 2 == 0 for s in family.certified_sides), name
+
+    def test_bad_certified_sides_rejected(self):
+        with pytest.raises(DimensionError):
+            ScheduleFamily(
+                name="ok_name", builder=lambda: None, certified_sides=(1,)
+            )
+        with pytest.raises(DimensionError):
+            ScheduleFamily(
+                name="ok_name", builder=lambda: None,
+                requires_even_side=True, certified_sides=(2, 3),
+            )
+
+    def test_paper_and_baseline_declarations(self):
+        assert get_family("row_major_row_first").certified_sides == (2, 4)
+        assert get_family("snake_1").certified_sides == (2, 3, 4)
+        assert get_family("shearsort").certified_sides == (2, 3, 4)
+        assert get_family("odd_even").certified_sides == (2, 3, 4, 8, 16)
+        assert get_family("random_network").certified_sides == ()
+        assert get_family("row_major_no_wrap").certified_sides == ()
